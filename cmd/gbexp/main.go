@@ -1,0 +1,214 @@
+// gbexp reproduces the paper's tables and figures by id and prints the rows
+// or series each one reports.
+//
+// Usage:
+//
+//	gbexp -exp fig1            # one experiment
+//	gbexp -exp all             # everything (paper-scale; takes a few minutes)
+//	gbexp -exp fig5 -quick     # reduced problem sizes
+//	gbexp -exp fig2 -timelines # include ASCII trace diagrams
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id: fig1 fig2 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 | all")
+		quick     = flag.Bool("quick", false, "reduced problem sizes and repetitions")
+		reps      = flag.Int("reps", 0, "repetitions per point (0 = paper's 5, or 2 with -quick)")
+		timelines = flag.Bool("timelines", false, "print Figure 2 ASCII trace diagrams")
+		tsv       = flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
+		plot      = flag.Bool("plot", false, "also render each table as an ASCII chart")
+	)
+	flag.Parse()
+	plotTables = *plot
+
+	o := harness.Options{Quick: *quick, Reps: *reps}
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"fig1", "fig2", "table1", "fig5", "fig6", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	}
+	for _, id := range ids {
+		if err := runOne(strings.TrimSpace(id), o, *timelines, *tsv); err != nil {
+			fmt.Fprintf(os.Stderr, "gbexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+var plotTables bool
+
+func emit(tsv bool, tables ...*stats.Table) {
+	for _, t := range tables {
+		if t == nil {
+			continue
+		}
+		if tsv {
+			fmt.Println("# " + t.Title)
+			fmt.Print(t.TSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		if plotTables {
+			if p := tableToPlot(t); p != nil {
+				fmt.Println(p.Render())
+			}
+		}
+	}
+}
+
+// tableToPlot converts a numeric table (first column = x) to a chart.
+// Cells of the form "mean±σ" plot their mean; non-numeric columns are
+// skipped. Returns nil if nothing is plottable.
+func tableToPlot(t *stats.Table) *viz.Plot {
+	if len(t.Rows) < 2 || len(t.Columns) < 2 {
+		return nil
+	}
+	parse := func(cell string) (float64, bool) {
+		if i := strings.IndexRune(cell, '±'); i >= 0 {
+			cell = cell[:i]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+		return v, err == nil
+	}
+	var xs []float64
+	for _, row := range t.Rows {
+		v, ok := parse(row[0])
+		if !ok {
+			return nil
+		}
+		xs = append(xs, v)
+	}
+	p := &viz.Plot{Title: t.Title, XLabel: t.Columns[0]}
+	for col := 1; col < len(t.Columns); col++ {
+		var ys []float64
+		ok := true
+		for _, row := range t.Rows {
+			if col >= len(row) {
+				ok = false
+				break
+			}
+			v, good := parse(row[col])
+			if !good {
+				ok = false
+				break
+			}
+			ys = append(ys, v)
+		}
+		if ok {
+			p.Series = append(p.Series, viz.Series{Label: t.Columns[col], X: xs, Y: ys})
+		}
+	}
+	if len(p.Series) == 0 {
+		return nil
+	}
+	return p
+}
+
+func runOne(id string, o harness.Options, timelines, tsv bool) error {
+	switch id {
+	case "fig1":
+		t, err := harness.Fig1(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, t)
+	case "fig2":
+		r, err := harness.Fig2(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, r.Table)
+		if timelines {
+			var keys []int
+			for k := range r.Timelines {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			for _, n := range keys {
+				fmt.Printf("--- %d processes (P0-P3, '#'=progress in ckpt, '_'=gap) ---\n%s\n", n, r.Timelines[n])
+			}
+		}
+	case "table1":
+		t, err := harness.Table1(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, t)
+	case "fig5":
+		a, b, err := harness.Fig5(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, a, b)
+	case "fig6":
+		a, b, err := harness.Fig6(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, a, b)
+	case "fig7":
+		t, err := harness.Fig7(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, t)
+	case "fig8":
+		t, err := harness.Fig8(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, t)
+	case "fig9":
+		t, err := harness.Fig9(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, t)
+	case "fig10":
+		t, err := harness.Fig10(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, t)
+	case "fig11":
+		a, b, err := harness.Fig11(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, a, b)
+	case "fig12":
+		a, b, err := harness.Fig12(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, a, b)
+	case "fig13":
+		t, err := harness.Fig13(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, t)
+	case "fig14":
+		t, err := harness.Fig14(o)
+		if err != nil {
+			return err
+		}
+		emit(tsv, t)
+	default:
+		return fmt.Errorf("unknown experiment id %q", id)
+	}
+	return nil
+}

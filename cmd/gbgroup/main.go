@@ -1,0 +1,75 @@
+// gbgroup analyzes an MPI communication trace and produces a group
+// definition file using the paper's Algorithm 2 (greedy merge of the
+// heaviest-communicating pairs under a maximum group size).
+//
+// Usage:
+//
+//	gbgroup -n 32 -max 8 -i hpl32.trace -o hpl32.groups
+//	gbgroup -n 32 -i hpl32.trace -pairs     # also dump pair volumes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/group"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 0, "number of processes (required)")
+		max   = flag.Int("max", 0, "maximum group size (0 = ceil(sqrt(n)), the paper's default)")
+		in    = flag.String("i", "", "input trace file (default stdin)")
+		out   = flag.String("o", "", "output group definition file (default stdout)")
+		pairs = flag.Bool("pairs", false, "also print aggregated pair volumes to stderr")
+	)
+	flag.Parse()
+	if *n <= 0 {
+		fatal(fmt.Errorf("-n is required"))
+	}
+
+	var rd io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rd = f
+	}
+	records, err := trace.Read(rd)
+	if err != nil {
+		fatal(err)
+	}
+	agg := trace.Aggregate(records)
+	if *pairs {
+		for _, p := range agg {
+			fmt.Fprintf(os.Stderr, "pair (%d,%d): %d msgs, %d bytes\n", p.A, p.B, p.Count, p.Bytes)
+		}
+	}
+	f := group.FromPairs(agg, *n, *max)
+	if err := f.Validate(); err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := f.Write(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gbgroup: %d groups, sizes %v\n", len(f.Groups), f.Sizes())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gbgroup:", err)
+	os.Exit(1)
+}

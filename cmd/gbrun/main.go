@@ -1,0 +1,198 @@
+// gbrun executes a workload under a checkpoint protocol and prints a timing
+// report: execution time, per-checkpoint stage breakdown, logging volume,
+// and (optionally) a simulated restart.
+//
+// Usage:
+//
+//	gbrun -workload hpl -procs 32 -mode GP -at 60 -restart
+//	gbrun -workload cg -procs 64 -mode VCL -interval 120 -servers 4
+//	gbrun -workload hpl -procs 32 -mode GP -groups hpl32.groups -at 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ckpt"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "hpl", "workload: hpl | cg | sp | synthetic")
+		procs    = flag.Int("procs", 32, "number of processes")
+		hplN     = flag.Int("N", 20000, "HPL problem size")
+		quick    = flag.Bool("quick", false, "shrink the problem for a fast run")
+		mode     = flag.String("mode", "GP", "protocol: GP | GP1 | GP4 | NORM | VCL")
+		at       = flag.Float64("at", 0, "single checkpoint at this many seconds")
+		interval = flag.Float64("interval", 0, "periodic checkpoint interval in seconds")
+		maxCkpt  = flag.Int("maxckpt", 0, "cap on periodic checkpoints (0 = unlimited)")
+		servers  = flag.Int("servers", 0, "remote checkpoint servers (0 = local disk)")
+		groups   = flag.String("groups", "", "group definition file (overrides trace-derived groups for GP)")
+		gmax     = flag.Int("gmax", 0, "max group size for trace-derived GP groups")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		restart  = flag.Bool("restart", false, "simulate a restart from the last checkpoint")
+	)
+	flag.Parse()
+
+	wl, err := makeWorkload(*wlName, *procs, *hplN, *quick)
+	if err != nil {
+		fatal(err)
+	}
+
+	// A custom group definition file bypasses the harness formation logic
+	// (the paper's "subsequent executions may use the same group
+	// definition file").
+	if *groups != "" && harness.Mode(*mode) == harness.GP {
+		if err := runWithGroupFile(wl, *groups, *at, *interval, *maxCkpt, *servers, *seed, *restart); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	spec := harness.Spec{
+		WL:   wl,
+		Mode: harness.Mode(*mode),
+		Seed: *seed,
+		Sched: harness.Schedule{
+			At:       sim.Seconds(*at),
+			Interval: sim.Seconds(*interval),
+			MaxCount: *maxCkpt,
+		},
+		RemoteServers: *servers,
+		GroupMax:      *gmax,
+	}
+	res, err := harness.Run(spec)
+	if err != nil {
+		fatal(err)
+	}
+	report(res)
+	if *restart {
+		out, err := harness.Restart(res, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		reportRestart(out)
+	}
+}
+
+func report(res *harness.Result) {
+	fmt.Printf("workload        %s\n", res.Spec.WL.Name())
+	fmt.Printf("mode            %s\n", res.Name)
+	fmt.Printf("groups          %d (max size %d)\n", len(res.Formation.Groups), res.Formation.MaxGroupSize())
+	fmt.Printf("execution time  %v\n", res.ExecTime)
+	fmt.Printf("checkpoints     %d epochs, %d rank-checkpoints\n", res.Epochs, len(res.Records))
+	if len(res.Records) > 0 {
+		fmt.Printf("agg ckpt time   %v\n", ckpt.AggregateCheckpointTime(res.Records))
+		mean := ckpt.MeanBreakdown(res.Records)
+		for s := ckpt.StageLock; s <= ckpt.StageFinalize; s++ {
+			fmt.Printf("  %-14s%v\n", s, mean[s])
+		}
+	}
+	fmt.Printf("sim events      %d\n", res.Events)
+}
+
+func reportRestart(out core.RestartOutcome) {
+	fmt.Printf("restart         agg %v, makespan %v\n", out.AggregateRestartTime(), out.MakespanEnd)
+	fmt.Printf("  resend        %d bytes in %d sessions (%d logged msgs), %d skipped\n",
+		out.ResendBytes, out.ResendOps, out.ResendMsgs, out.SkipBytes)
+}
+
+// runWithGroupFile wires the engine manually so the formation comes from a
+// file instead of a tracing pass.
+func runWithGroupFile(wl workload.Workload, path string, at, interval float64, maxCkpt, servers int, seed int64, doRestart bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	formation, err := group.ReadFrom(f, wl.Procs())
+	if err != nil {
+		return err
+	}
+	k := sim.NewKernel(seed)
+	cfg := cluster.Gideon()
+	c := cluster.New(k, wl.Procs(), cfg)
+	w := mpi.NewWorld(k, c, wl.Procs())
+	var store cluster.Storage = cluster.LocalDisk{}
+	if servers > 0 {
+		store = cluster.NewRemoteStore(c, servers, 12.5e6, 40e6)
+	}
+	ecfg := core.DefaultConfig(formation, wl.ImageBytes)
+	ecfg.Store = store
+	e := core.NewEngine(w, ecfg)
+	if at > 0 {
+		e.ScheduleAt(sim.Seconds(at), nil)
+	}
+	if interval > 0 {
+		e.SchedulePeriodic(sim.Seconds(interval), sim.Seconds(interval), maxCkpt)
+	}
+	w.Launch(wl.Body)
+	if err := k.Run(); err != nil {
+		return err
+	}
+	var exec sim.Time
+	for _, r := range w.Ranks {
+		if r.FinishTime > exec {
+			exec = r.FinishTime
+		}
+	}
+	fmt.Printf("workload        %s\n", wl.Name())
+	fmt.Printf("mode            %s (groups from %s)\n", e.Name(), path)
+	fmt.Printf("execution time  %v\n", exec)
+	fmt.Printf("checkpoints     %d epochs, %d rank-checkpoints\n", e.Epochs(), len(e.Records()))
+	if len(e.Records()) > 0 {
+		fmt.Printf("agg ckpt time   %v\n", ckpt.AggregateCheckpointTime(e.Records()))
+	}
+	if doRestart {
+		out, err := core.SimulateRestart(core.RestartSpec{
+			N: wl.Procs(), ClusterCfg: cfg, Formation: formation,
+			Snapshots: e.Snapshots(), Logs: e.LogSets(), Seed: seed + 1,
+			RemoteServers: servers, ServerNIC: 12.5e6, ServerDisk: 40e6,
+		})
+		if err != nil {
+			return err
+		}
+		reportRestart(out)
+	}
+	return nil
+}
+
+// makeWorkload mirrors gbtrace's workload construction.
+func makeWorkload(name string, procs, hplN int, quick bool) (workload.Workload, error) {
+	switch name {
+	case "hpl":
+		if quick && hplN > 5760 {
+			hplN = 5760
+		}
+		return workload.NewHPL(hplN, procs), nil
+	case "cg":
+		wl := workload.CGClassC(procs)
+		if quick {
+			wl.NA, wl.NIter = 30000, 20
+		}
+		return wl, nil
+	case "sp":
+		wl := workload.SPClassC(procs)
+		if quick {
+			wl.Problem, wl.NIter = 64, 60
+		}
+		return wl, nil
+	case "synthetic":
+		return workload.NewSynthetic(procs, 200), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gbrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// gbtrace runs a workload with the MPI communication tracer attached and
+// writes the trace to a file — the first step of the paper's workflow
+// (Figure 4): trace, analyze, then checkpoint with the resulting groups.
+//
+// Usage:
+//
+//	gbtrace -workload hpl -procs 32 -o hpl32.trace
+//	gbtrace -workload cg  -procs 64 -quick -o cg64.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wlName = flag.String("workload", "hpl", "workload: hpl | cg | sp | synthetic")
+		procs  = flag.Int("procs", 32, "number of processes")
+		n      = flag.Int("N", 20000, "HPL problem size")
+		quick  = flag.Bool("quick", false, "shrink the problem for a fast run")
+		out    = flag.String("o", "", "output trace file (default stdout)")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	wl, err := makeWorkload(*wlName, *procs, *n, *quick)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := harness.Run(harness.Spec{WL: wl, Mode: harness.NORM, Seed: *seed, Trace: true})
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, res.Trace); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gbtrace: %s, %d ranks, exec %v, %d records\n",
+		wl.Name(), wl.Procs(), res.ExecTime, len(res.Trace))
+}
+
+// makeWorkload builds a workload from CLI parameters (shared with gbrun).
+func makeWorkload(name string, procs, hplN int, quick bool) (workload.Workload, error) {
+	switch name {
+	case "hpl":
+		if quick && hplN > 5760 {
+			hplN = 5760
+		}
+		return workload.NewHPL(hplN, procs), nil
+	case "cg":
+		wl := workload.CGClassC(procs)
+		if quick {
+			wl.NA, wl.NIter = 30000, 20
+		}
+		return wl, nil
+	case "sp":
+		wl := workload.SPClassC(procs)
+		if quick {
+			wl.Problem, wl.NIter = 64, 60
+		}
+		return wl, nil
+	case "synthetic":
+		return workload.NewSynthetic(procs, 200), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (hpl | cg | sp | synthetic)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gbtrace:", err)
+	os.Exit(1)
+}

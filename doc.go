@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go reproduction of "Scalable Group-based
+// Checkpoint/Restart for Large-Scale Message-passing Systems" (Ho, Wang,
+// Lau — IPDPS 2008).
+//
+// The paper's system ran on a 128-node cluster under LAM/MPI with BLCR;
+// this repository rebuilds every layer as a deterministic discrete-event
+// simulation so the protocol behaviours the paper measures — coordination
+// cost growth, non-blocking checkpoints turning blocking, log replay on
+// restart — reproduce on a laptop:
+//
+//	internal/sim       discrete-event kernel (virtual time, process goroutines)
+//	internal/cluster   nodes, NICs, disks, network, checkpoint servers, OS noise
+//	internal/mpi       MPI-like ranks: p2p, collectives, freeze gates, hooks
+//	internal/trace     communication tracer, timelines, gap analysis
+//	internal/group     paper Algorithm 2 (trace-driven group formation)
+//	internal/mlog      sender-based message logs, piggybacked GC, replay plans
+//	internal/ckpt      checkpoint records, stage breakdowns, snapshots
+//	internal/core      paper Algorithm 1: the group-based C/R engine, the
+//	                   mpirun controller, restart, and the MPICH-VCL baseline
+//	internal/workload  HPL and NPB CG/SP communication-accurate skeletons
+//	internal/failure   failure injection and group-vs-global recovery
+//	internal/harness   the paper's experiments (Figures 1–14, Table 1)
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation (reduced problem sizes by default; `go run ./cmd/gbexp
+// -exp all` runs them at paper scale). See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package repro

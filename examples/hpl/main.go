@@ -1,0 +1,83 @@
+// HPL pipeline: reproduce the paper's end-to-end workflow (Figure 4) on
+// High Performance Linpack with 32 processes (8×4 grid):
+//
+//  1. run once with the communication tracer;
+//
+//  2. analyze the trace with Algorithm 2 → group definition (Table 1);
+//
+//  3. checkpoint under those groups and compare against LAM/MPI-style
+//     global coordination (NORM).
+//
+//     go run ./examples/hpl
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ckpt"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// N=5760 keeps this example under a second; the cmd/gbexp tool runs
+	// the paper-scale N=20000 version.
+	wl := workload.NewHPL(5760, 32)
+
+	// Step 1: trace.
+	k := sim.NewKernel(1)
+	c := cluster.New(k, 32, cluster.Gideon())
+	w := mpi.NewWorld(k, c, 32)
+	rec := &trace.Recorder{}
+	w.Tracer = rec
+	w.Launch(wl.Body)
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced %s: %d send records\n", wl.Name(), len(rec.Sends()))
+
+	// Step 2: Algorithm 2 with G=P=8.
+	f := group.FromTrace(rec.Records, 32, wl.P)
+	fmt.Println("group formation (paper Table 1):")
+	for i, g := range f.Groups {
+		fmt.Printf("  group %d: %v\n", i+1, g)
+	}
+
+	// Step 3: checkpoint under the groups vs globally.
+	for _, setup := range []struct {
+		name string
+		form group.Formation
+	}{
+		{"GP (trace groups)", f},
+		{"NORM (global)", group.Global(32)},
+	} {
+		k := sim.NewKernel(7)
+		c := cluster.New(k, 32, cluster.Gideon())
+		w := mpi.NewWorld(k, c, 32)
+		e := core.NewEngine(w, core.DefaultConfig(setup.form, wl.ImageBytes))
+		e.ScheduleAt(4*sim.Second, nil)
+		w.Launch(wl.Body)
+		if err := k.Run(); err != nil {
+			log.Fatal(err)
+		}
+		var exec sim.Time
+		for _, r := range w.Ranks {
+			if r.FinishTime > exec {
+				exec = r.FinishTime
+			}
+		}
+		agg := ckpt.AggregateCheckpointTime(e.Records())
+		coord := agg
+		for _, r := range e.Records() {
+			coord -= r.Stages[ckpt.StageWrite]
+		}
+		fmt.Printf("%-20s exec %-14v agg ckpt %-14v coordination %v\n",
+			setup.name, exec, agg, coord)
+	}
+}

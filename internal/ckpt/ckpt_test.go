@@ -1,0 +1,118 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageLock:     "Lock MPI",
+		StageCoord:    "Coordination",
+		StageWrite:    "Checkpoint",
+		StageFinalize: "Finalize",
+		Stage(9):      "Stage(9)",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	a := Breakdown{sim.Second, 2 * sim.Second, 3 * sim.Second, 4 * sim.Second}
+	b := Breakdown{sim.Second, sim.Second, sim.Second, sim.Second}
+	sum := a.Add(b)
+	if sum.Total() != 14*sim.Second {
+		t.Errorf("Total = %v", sum.Total())
+	}
+	half := sum.Scale(2)
+	if half[StageLock] != sim.Second || half[StageFinalize] != sim.Time(2.5*float64(sim.Second)) {
+		t.Errorf("Scale = %v", half)
+	}
+	if got := a.Scale(0); got != a {
+		t.Errorf("Scale(0) changed value: %v", got)
+	}
+}
+
+func TestRecordDurationAndAggregate(t *testing.T) {
+	recs := []Record{
+		{Rank: 0, Start: sim.Second, End: 3 * sim.Second},
+		{Rank: 1, Start: sim.Second, End: 2 * sim.Second},
+	}
+	if recs[0].Duration() != 2*sim.Second {
+		t.Errorf("Duration = %v", recs[0].Duration())
+	}
+	if got := AggregateCheckpointTime(recs); got != 3*sim.Second {
+		t.Errorf("Aggregate = %v", got)
+	}
+}
+
+func TestMeanBreakdown(t *testing.T) {
+	recs := []Record{
+		{Stages: Breakdown{2 * sim.Second, 0, 0, 0}},
+		{Stages: Breakdown{4 * sim.Second, 0, 0, 0}},
+	}
+	m := MeanBreakdown(recs)
+	if m[StageLock] != 3*sim.Second {
+		t.Errorf("mean lock = %v", m[StageLock])
+	}
+}
+
+func TestSnapshotClone(t *testing.T) {
+	s := Snapshot{
+		Rank:      1,
+		SentTo:    map[int]int64{2: 100},
+		RecvdFrom: map[int]int64{3: 50},
+	}
+	c := s.Clone()
+	c.SentTo[2] = 999
+	c.RecvdFrom[4] = 1
+	if s.SentTo[2] != 100 || len(s.RecvdFrom) != 1 {
+		t.Error("Clone did not deep-copy maps")
+	}
+}
+
+func TestYoungInterval(t *testing.T) {
+	// C = 50s, MTBF = 10000s → sqrt(2*50*10000) = 1000s.
+	got := YoungInterval(50*sim.Second, 10000*sim.Second)
+	want := 1000 * sim.Second
+	if math.Abs(float64(got-want)) > float64(sim.Second) {
+		t.Errorf("YoungInterval = %v, want ≈%v", got, want)
+	}
+	if YoungInterval(0, sim.Second) != 0 || YoungInterval(sim.Second, 0) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestExpectedWasteMinimizedNearYoung(t *testing.T) {
+	c, mtbf := 50*sim.Second, 10000*sim.Second
+	opt := YoungInterval(c, mtbf)
+	wOpt := ExpectedWaste(c, opt, mtbf)
+	for _, factor := range []float64{0.25, 0.5, 2, 4} {
+		other := sim.Time(float64(opt) * factor)
+		if ExpectedWaste(c, other, mtbf) < wOpt {
+			t.Errorf("waste at %v below waste at Young interval", other)
+		}
+	}
+	if !math.IsInf(ExpectedWaste(c, 0, mtbf), 1) {
+		t.Error("zero interval should be infinite waste")
+	}
+}
+
+func TestGroupInterval(t *testing.T) {
+	base := 600 * sim.Second
+	// A group failing 4× as often checkpoints every base/2.
+	if got := GroupInterval(base, 4); got != 300*sim.Second {
+		t.Errorf("GroupInterval(4×) = %v", got)
+	}
+	if got := GroupInterval(base, 0); got != base {
+		t.Errorf("GroupInterval(0) = %v", got)
+	}
+	if got := GroupInterval(base, 1); got != base {
+		t.Errorf("GroupInterval(1) = %v", got)
+	}
+}

@@ -1,0 +1,42 @@
+package ckpt
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// YoungInterval returns Young's first-order optimal checkpoint interval
+// √(2·C·MTBF), where C is the cost of one checkpoint and MTBF the mean time
+// between failures. The paper's future work suggests deriving a fixed
+// optimal interval from traces; this is the standard closed form.
+func YoungInterval(ckptCost, mtbf sim.Time) sim.Time {
+	if ckptCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return sim.Time(math.Sqrt(2 * float64(ckptCost) * float64(mtbf)))
+}
+
+// ExpectedWaste returns the expected fraction of execution time lost to
+// checkpointing plus re-execution after failures for a periodic checkpoint
+// of cost c taken every interval t on a system with the given MTBF
+// (first-order model: waste = c/t + t/(2·MTBF)).
+func ExpectedWaste(c, t, mtbf sim.Time) float64 {
+	if t <= 0 || mtbf <= 0 {
+		return math.Inf(1)
+	}
+	return float64(c)/float64(t) + float64(t)/(2*float64(mtbf))
+}
+
+// GroupInterval scales a base checkpoint interval for a group according to
+// its failure rate relative to the system mean: groups of frequently failing
+// nodes checkpoint more often (the paper's flexibility argument: "group
+// processor nodes that fail more frequently, and select a shorter checkpoint
+// interval"). rateRatio is groupFailureRate / meanFailureRate.
+func GroupInterval(base sim.Time, rateRatio float64) sim.Time {
+	if rateRatio <= 0 {
+		return base
+	}
+	// Young's interval scales as 1/√rate.
+	return sim.Time(float64(base) / math.Sqrt(rateRatio))
+}

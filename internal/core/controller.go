@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Controller models mpirun: it receives checkpoint requests "from the system
+// or the user" and propagates them to the MPI processes, spawning one child
+// per group; when all groups have finished, mpirun checkpoints itself (not
+// timed, as in the paper's measurements).
+//
+// The head node is rank 0's node: request and done messages cross the real
+// network, so request propagation to n ranks costs n serialized control
+// messages from the head NIC.
+
+// ScheduleAt triggers one checkpoint of the given groups (nil = all groups)
+// at virtual time t. Must be called before the kernel runs.
+func (e *Engine) ScheduleAt(t sim.Time, groups []int) {
+	e.w.K.At(t, func() {
+		e.w.K.SpawnDaemon("mpirun", func(p *sim.Proc) {
+			e.runEpoch(p, groups)
+		})
+	})
+}
+
+// SchedulePeriodic triggers a checkpoint of all groups every interval,
+// starting at start, until the application finishes or maxCount checkpoints
+// have completed (0 = unlimited). If a checkpoint epoch overruns the
+// interval, the next one starts as soon as the previous completes.
+func (e *Engine) SchedulePeriodic(start, interval sim.Time, maxCount int) {
+	e.w.K.At(0, func() {
+		e.w.K.SpawnDaemon("mpirun", func(p *sim.Proc) {
+			next := start
+			for i := 0; maxCount == 0 || i < maxCount; i++ {
+				p.HoldUntil(next)
+				if e.appFinished() {
+					return
+				}
+				e.runEpoch(p, nil)
+				next += interval
+				if now := p.Now(); next < now {
+					next = now
+				}
+			}
+		})
+	})
+}
+
+// appFinished reports whether every rank's application body has returned.
+func (e *Engine) appFinished() bool {
+	for _, r := range e.w.Ranks {
+		if !r.Finished {
+			return false
+		}
+	}
+	return true
+}
+
+// runEpoch performs one complete checkpoint epoch from the controller's
+// perspective: propagate requests to every member of the target groups,
+// then wait for every done reply.
+func (e *Engine) runEpoch(p *sim.Proc, groups []int) {
+	// Epoch ids are assigned at issue time so concurrent per-group
+	// schedules stay distinct (epoch-scoped control tags).
+	epoch := e.epochSeq
+	e.epochSeq++
+	head := e.w.Ranks[0]
+	from := p.Now()
+
+	targets := groups
+	if targets == nil {
+		targets = make([]int, len(e.cfg.Formation.Groups))
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+	var members []int
+	for _, g := range targets {
+		members = append(members, e.cfg.Formation.Groups[g]...)
+	}
+	// mpirun spawns one child per group to propagate the request; the
+	// timing-relevant cost is the serialized request sends from the head
+	// node and the done replies.
+	for _, m := range members {
+		head.CtrlSend(p, m, tagCkptReq, reqBytes, epoch)
+	}
+	for range members {
+		head.CtrlRecv(p, mpi.AnySource, tagCkptDoneBase+epoch)
+	}
+	// mpirun checkpoints itself here (not timed; it does not affect the
+	// application's normal execution).
+	e.epochs++
+	e.epochSpans = append(e.epochSpans, Span{From: from, To: p.Now()})
+}
+
+// SchedulePeriodicGroup checkpoints a single group on its own period — the
+// paper's flexibility argument: "group processor nodes that fail more
+// frequently, and select a shorter checkpoint interval". Several groups may
+// run on different periods concurrently; epochs stay globally unique.
+func (e *Engine) SchedulePeriodicGroup(g int, start, interval sim.Time, maxCount int) {
+	if g < 0 || g >= len(e.cfg.Formation.Groups) {
+		panic("core: SchedulePeriodicGroup: no such group")
+	}
+	e.w.K.At(0, func() {
+		e.w.K.SpawnDaemon(fmt.Sprintf("mpirun-g%d", g), func(p *sim.Proc) {
+			next := start
+			if next == 0 {
+				next = interval
+			}
+			for i := 0; maxCount == 0 || i < maxCount; i++ {
+				p.HoldUntil(next)
+				if e.appFinished() {
+					return
+				}
+				e.runEpoch(p, []int{g})
+				next += interval
+				if now := p.Now(); next < now {
+					next = now
+				}
+			}
+		})
+	})
+}

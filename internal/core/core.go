@@ -1,0 +1,391 @@
+// Package core implements the paper's primary contribution: group-based
+// checkpoint/restart for message-passing applications (paper Algorithm 1),
+// together with the mpirun-style controller that propagates checkpoint
+// requests, and the Chandy–Lamport non-blocking baseline (MPICH-VCL) used in
+// the paper's Section 5.3 comparison.
+//
+// One Engine covers the paper's whole GP/GP1/GP4/NORM spectrum, because they
+// are all the same protocol under different group formations:
+//
+//   - NORM: one global group — LAM/MPI blocking coordinated checkpointing
+//     (the intra-group path is exactly LAM's lock → bookmark exchange →
+//     drain → image → finalize sequence, and with one group there are no
+//     logs);
+//   - GP1: singleton groups — uncoordinated checkpointing, every message
+//     logged;
+//   - GP4/GP: intermediate formations — coordination inside groups, sender
+//     logging across groups, piggybacked log GC, replay/skip on restart.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/cluster"
+	"repro/internal/group"
+	"repro/internal/image"
+	"repro/internal/mlog"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Control-plane tags. Epoch-scoped tags keep back-to-back checkpoints of the
+// same group from cross-matching.
+const (
+	tagCkptReq      = mpi.TagCtrlBase + 1
+	tagCkptDoneBase = mpi.TagCtrlBase + 0x00100 // + epoch
+
+	tagBookmarkBase = mpi.TagCtrlBase + 0x01000 // + epoch
+	tagBarrierBase  = mpi.TagCtrlBase + 0x10000 // + epoch*64 + round
+	tagMarkerBase   = mpi.TagCtrlBase + 0x20000 // + epoch
+	tagRxSx         = mpi.TagCtrlBase + 0x30000
+	tagReplay       = mpi.TagCtrlBase + 0x30001
+)
+
+const (
+	bookmarkBytes = 16
+	markerBytes   = 16
+	doneBytes     = 16
+	reqBytes      = 32
+	rxSxBytes     = 24
+)
+
+// Config parameterizes the group-based engine.
+type Config struct {
+	Formation group.Formation
+	// Store receives checkpoint images. Message logs always go to the
+	// local disk, as in the paper.
+	Store cluster.Storage
+	// ImageBytes gives the checkpoint image size of a rank (the
+	// workload's memory footprint plus runtime overhead).
+	ImageBytes func(rank int) int64
+	// LogCopyRate is the sender-side memory-copy bandwidth of
+	// asynchronous message logging (bytes/s). Zero disables the cost.
+	LogCopyRate float64
+	// LockDelay is the base cost of the "Lock MPI" stage (signal
+	// delivery, stopping in-progress operations). Daemon noise is added
+	// on top, which is what produces NORM's coordination spikes.
+	LockDelay sim.Time
+	// PeerCost is the per-connection cost of quiescing one channel during
+	// the bookmark exchange (socket handling, bookmark processing). Each
+	// rank pays it once per group member, which is what makes global
+	// coordination cost grow superlinearly in aggregate (Figure 1) while
+	// √n-sized groups stay flat.
+	PeerCost sim.Time
+	// BgFlushRate is the background log-flusher rate (bytes/s): logs are
+	// written to disk asynchronously during execution and only the tail
+	// is synced at checkpoint time.
+	BgFlushRate float64
+	// Archive, when non-nil, receives a functional serialized image
+	// (snapshot + flushed log entries, checksummed) at every checkpoint —
+	// the durable counterpart of the timing model's image write. Restart
+	// verification reads decisions back from the archive.
+	Archive *image.Store
+	// SignalJitter is the maximum random delay between the checkpoint
+	// request reaching a node and the rank actually freezing (daemon
+	// scheduling, signal delivery, in-progress system calls). The skew it
+	// creates between ranks' cut instants is what leaves messages "owed"
+	// across uncoordinated cuts (Figures 7 and 8) and what global
+	// coordination has to wait out (Figure 1).
+	SignalJitter sim.Time
+}
+
+// DefaultConfig fills in the calibrated defaults used across experiments.
+func DefaultConfig(f group.Formation, imageBytes func(int) int64) Config {
+	return Config{
+		Formation:    f,
+		Store:        cluster.LocalDisk{},
+		ImageBytes:   imageBytes,
+		LogCopyRate:  400e6,
+		LockDelay:    20 * sim.Millisecond,
+		PeerCost:     50 * sim.Millisecond,
+		BgFlushRate:  20e6,
+		SignalJitter: 150 * sim.Millisecond,
+	}
+}
+
+// rankState is the per-rank protocol state of Algorithm 1.
+type rankState struct {
+	r       *mpi.Rank
+	members []int // checkpoint group, sorted, including self
+	logs    *mlog.Set
+	rr      map[int]int64 // RR_X: recvd-from volume recorded at last ckpt
+	needPB  map[int]bool  // peers owed a piggyback on the next send
+	snap    *ckpt.Snapshot
+}
+
+// Engine is the group-based checkpoint/restart protocol.
+type Engine struct {
+	w   *mpi.World
+	cfg Config
+
+	states   []*rankState
+	records  []ckpt.Record
+	epochs   int // completed checkpoint epochs
+	epochSeq int // next epoch id to issue
+
+	// epochSpans records, per epoch, the controller-observed span of the
+	// checkpoint (request issue → all groups done) for trace overlays.
+	epochSpans []Span
+}
+
+// Span is a [From, To) interval of virtual time.
+type Span struct{ From, To sim.Time }
+
+// NewEngine installs the protocol on a world: it registers the send/deliver
+// hooks and spawns one checkpoint daemon per rank. Call before Launch/Run.
+func NewEngine(w *mpi.World, cfg Config) *Engine {
+	if err := cfg.Formation.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid formation: %v", err))
+	}
+	if cfg.Formation.N != w.N {
+		panic("core: formation size does not match world")
+	}
+	if cfg.ImageBytes == nil {
+		cfg.ImageBytes = func(int) int64 { return 0 }
+	}
+	if cfg.Store == nil {
+		cfg.Store = cluster.LocalDisk{}
+	}
+	e := &Engine{w: w, cfg: cfg}
+	for _, r := range w.Ranks {
+		st := &rankState{
+			r:       r,
+			members: cfg.Formation.Members(r.ID),
+			logs:    mlog.NewSet(r.ID, cfg.LogCopyRate),
+			rr:      map[int]int64{},
+			needPB:  map[int]bool{},
+		}
+		st.logs.BgFlushRate = cfg.BgFlushRate
+		e.states = append(e.states, st)
+		r.Ext = st
+	}
+	w.Hooks = e
+	for _, st := range e.states {
+		st := st
+		w.K.SpawnDaemon(fmt.Sprintf("ckptd%d", st.r.ID), func(p *sim.Proc) {
+			e.daemon(st, p)
+		})
+	}
+	return e
+}
+
+// Name identifies the engine configuration in reports.
+func (e *Engine) Name() string {
+	switch {
+	case len(e.cfg.Formation.Groups) == 1:
+		return "NORM"
+	case e.cfg.Formation.MaxGroupSize() == 1:
+		return "GP1"
+	default:
+		return fmt.Sprintf("GP(%d groups)", len(e.cfg.Formation.Groups))
+	}
+}
+
+// Records returns all per-rank checkpoint records so far.
+func (e *Engine) Records() []ckpt.Record { return e.records }
+
+// Epochs returns the number of completed checkpoint epochs.
+func (e *Engine) Epochs() int { return e.epochs }
+
+// EpochSpans returns the controller-observed checkpoint spans.
+func (e *Engine) EpochSpans() []Span { return e.epochSpans }
+
+// Formation returns the installed group formation.
+func (e *Engine) Formation() group.Formation { return e.cfg.Formation }
+
+// Snapshots returns the latest snapshot per rank (nil entries for ranks that
+// never checkpointed).
+func (e *Engine) Snapshots() []*ckpt.Snapshot {
+	out := make([]*ckpt.Snapshot, len(e.states))
+	for i, st := range e.states {
+		out[i] = st.snap
+	}
+	return out
+}
+
+// LogSets returns the per-rank sender logs (live; shared with restart).
+func (e *Engine) LogSets() []*mlog.Set {
+	out := make([]*mlog.Set, len(e.states))
+	for i, st := range e.states {
+		out[i] = st.logs
+	}
+	return out
+}
+
+// TotalLogged returns cumulative logged bytes and messages across ranks.
+func (e *Engine) TotalLogged() (int64, int) {
+	var b int64
+	var m int
+	for _, st := range e.states {
+		lb, lm := st.logs.TotalLogged()
+		b += lb
+		m += lm
+	}
+	return b, m
+}
+
+// BeforeSend implements mpi.Hooks: inter-group messages are logged (with the
+// asynchronous copy cost) and the first message to each peer after a
+// checkpoint piggybacks RR so the peer can garbage-collect its logs
+// (Algorithm 1's "on sending a message to process P").
+func (e *Engine) BeforeSend(r *mpi.Rank, m *mpi.Msg) sim.Time {
+	if e.cfg.Formation.SameGroup(r.ID, m.Dst) {
+		return 0
+	}
+	st := e.states[r.ID]
+	d := st.logs.Log(m.Dst, m.Bytes, r.Now())
+	if st.needPB[m.Dst] {
+		if m.PB == nil {
+			m.PB = map[int]int64{}
+		}
+		m.PB[r.ID] = st.rr[m.Dst]
+		delete(st.needPB, m.Dst)
+	}
+	return d
+}
+
+// OnDeliver implements mpi.Hooks: a piggybacked volume from the sender
+// garbage-collects this rank's log toward that sender (Algorithm 1's "on
+// receiving a message from process P").
+func (e *Engine) OnDeliver(d *mpi.Rank, m *mpi.Msg) {
+	if m.PB == nil {
+		return
+	}
+	if v, ok := m.PB[m.Src]; ok {
+		e.states[d.ID].logs.GC(m.Src, v)
+	}
+}
+
+// daemon is the per-rank checkpoint daemon: it waits for checkpoint requests
+// from the controller and executes the group checkpoint.
+func (e *Engine) daemon(st *rankState, p *sim.Proc) {
+	for {
+		m := st.r.CtrlRecv(p, mpi.AnySource, tagCkptReq)
+		epoch := m.Payload.(int)
+		e.checkpoint(st, p, epoch, m.Src)
+	}
+}
+
+// checkpoint runs one rank's side of a group checkpoint, recording the
+// four-stage breakdown of Figure 9.
+func (e *Engine) checkpoint(st *rankState, p *sim.Proc, epoch, replyTo int) {
+	r := st.r
+	start := p.Now()
+
+	// Stage 1 — Lock MPI: freeze the application (it parks at its next
+	// send, receive-completion, or compute-slice boundary). The freeze
+	// instant jitters per rank: signal delivery is not instantaneous.
+	if e.cfg.SignalJitter > 0 {
+		p.Hold(sim.Time(e.w.K.Rand().Int63n(int64(e.cfg.SignalJitter))))
+	}
+	r.Gate.Close()
+	r.SendGate.Close()
+	r.Node.Delay(p, e.cfg.LockDelay)
+	tLock := p.Now()
+
+	// Stage 2 — Coordination.
+	// 2a. Synchronize message logs: flush pending log bytes to local disk
+	// so "each successful checkpoint comes with a correct set of logs".
+	var flushed int64
+	if pend := st.logs.PendingFlush(); pend > 0 {
+		r.Node.Disk.Use(p, pend)
+		st.logs.MarkFlushed()
+		flushed = pend
+	}
+	// 2b. Bookmark exchange and drain within the group: each member
+	// advertises the bytes it has pushed toward us; we wait until our
+	// transport has received them all (LAM/MPI CRTCP quiesce).
+	if len(st.members) > 1 {
+		tag := tagBookmarkBase + epoch
+		for _, mem := range st.members {
+			if mem != r.ID {
+				r.CtrlSend(p, mem, tag, bookmarkBytes, r.SentBytes(mem))
+			}
+		}
+		for _, mem := range st.members {
+			if mem == r.ID {
+				continue
+			}
+			bm := r.CtrlRecv(p, mem, tag)
+			r.Node.Delay(p, e.cfg.PeerCost) // per-channel quiesce work
+			r.RecvdCounter(mem).AwaitAtLeast(p, bm.Payload.(int64))
+		}
+	}
+	// 2c. Record RR_Q for out-of-group peers and arm piggybacks
+	// (Algorithm 1's "remember R_Q as RR_Q").
+	snap := &ckpt.Snapshot{
+		Rank: r.ID, Epoch: epoch, At: p.Now(),
+		ImageBytes: e.cfg.ImageBytes(r.ID),
+		SentTo:     map[int]int64{},
+		RecvdFrom:  map[int]int64{},
+	}
+	for q := 0; q < e.w.N; q++ {
+		if q == r.ID || e.cfg.Formation.SameGroup(r.ID, q) {
+			continue
+		}
+		sent, recvd := r.SentBytes(q), r.AppRecvdBytes(q)
+		if sent == 0 && recvd == 0 {
+			continue
+		}
+		st.rr[q] = recvd
+		st.needPB[q] = true
+		snap.SentTo[q] = sent
+		snap.RecvdFrom[q] = recvd
+	}
+	tCoord := p.Now()
+
+	// Stage 3 — Checkpoint: write the image.
+	e.cfg.Store.Write(p, r.Node, snap.ImageBytes)
+	tWrite := p.Now()
+
+	// Stage 4 — Finalize: wait until all group members finish, resume.
+	e.ctrlBarrier(p, r, st.members, tagBarrierBase+epoch*64)
+	r.Gate.Open()
+	r.SendGate.Open()
+	end := p.Now()
+
+	st.snap = snap
+	if e.cfg.Archive != nil {
+		img := image.FromEngineState(snap, st.logs, snap.ImageBytes)
+		if _, err := e.cfg.Archive.Put(img); err != nil {
+			panic(fmt.Sprintf("core: archiving image for rank %d: %v", r.ID, err))
+		}
+	}
+	e.records = append(e.records, ckpt.Record{
+		Rank: r.ID, Epoch: epoch, Start: start, End: end,
+		Stages: ckpt.Breakdown{
+			ckpt.StageLock:     tLock - start,
+			ckpt.StageCoord:    tCoord - tLock,
+			ckpt.StageWrite:    tWrite - tCoord,
+			ckpt.StageFinalize: end - tWrite,
+		},
+		ImageBytes: snap.ImageBytes,
+		LogFlushed: flushed,
+	})
+	r.CtrlSend(p, replyTo, tagCkptDoneBase+epoch, doneBytes, epoch)
+}
+
+// ctrlBarrier is a dissemination barrier over the control plane.
+func (e *Engine) ctrlBarrier(p *sim.Proc, r *mpi.Rank, members []int, tagBase int) {
+	n := len(members)
+	if n <= 1 {
+		return
+	}
+	me := -1
+	for i, m := range members {
+		if m == r.ID {
+			me = i
+			break
+		}
+	}
+	if me < 0 {
+		panic("core: barrier caller not in member list")
+	}
+	for k, round := 1, 0; k < n; k, round = k*2, round+1 {
+		to := members[(me+k)%n]
+		from := members[(me-k+n)%n]
+		r.CtrlSend(p, to, tagBase+round, bookmarkBytes, nil)
+		r.CtrlRecv(p, from, tagBase+round)
+	}
+}

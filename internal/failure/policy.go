@@ -1,0 +1,126 @@
+package failure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ckpt"
+	"repro/internal/group"
+	"repro/internal/sim"
+)
+
+// Policy implements the paper's flexibility argument: "it is possible to
+// group processor nodes that fail more frequently, and select a shorter
+// checkpoint interval, in order to increase tolerance to failures". Given
+// per-node failure rates it can (a) regroup so that failure-prone nodes
+// share groups, and (b) assign each group a checkpoint interval scaled by
+// its failure rate (Young's rule: interval ∝ 1/√rate).
+
+// Rates holds per-rank failure rates (failures per second).
+type Rates []float64
+
+// Mean returns the average failure rate.
+func (r Rates) Mean() float64 {
+	if len(r) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range r {
+		s += x
+	}
+	return s / float64(len(r))
+}
+
+// GroupRate returns the aggregate failure rate of a group (any member
+// failing forces the group to roll back, so rates add).
+func GroupRate(rates Rates, members []int) float64 {
+	var s float64
+	for _, m := range members {
+		s += rates[m]
+	}
+	return s
+}
+
+// RegroupByRate partitions ranks into groups of at most maxSize, packing
+// the highest-rate ranks together so that unreliable nodes do not drag
+// reliable groups into frequent rollbacks.
+func RegroupByRate(rates Rates, maxSize int) group.Formation {
+	n := len(rates)
+	if maxSize <= 0 {
+		maxSize = group.DefaultMaxSize(n)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rates[idx[a]] > rates[idx[b]] })
+	var groups [][]int
+	for start := 0; start < n; start += maxSize {
+		end := start + maxSize
+		if end > n {
+			end = n
+		}
+		groups = append(groups, append([]int{}, idx[start:end]...))
+	}
+	return formationFromGroups(n, groups)
+}
+
+func formationFromGroups(n int, groups [][]int) group.Formation {
+	// group.Formation's constructor is internal; rebuild via the file
+	// format, which validates and normalizes.
+	var text string
+	for _, g := range groups {
+		for i, r := range g {
+			if i > 0 {
+				text += " "
+			}
+			text += fmt.Sprint(r)
+		}
+		text += "\n"
+	}
+	f, err := group.ReadFrom(strings.NewReader(text), n)
+	if err != nil {
+		panic("failure: internal regroup produced invalid formation: " + err.Error())
+	}
+	return f
+}
+
+// Intervals assigns each group of f a checkpoint interval: base Young
+// interval scaled by the group's failure rate relative to the mean group
+// rate. Groups of flaky nodes checkpoint more often.
+func Intervals(f group.Formation, rates Rates, ckptCost, mtbfSystem sim.Time) []sim.Time {
+	base := ckpt.YoungInterval(ckptCost, mtbfSystem)
+	var meanRate float64
+	for _, g := range f.Groups {
+		meanRate += GroupRate(rates, g)
+	}
+	if len(f.Groups) > 0 {
+		meanRate /= float64(len(f.Groups))
+	}
+	out := make([]sim.Time, len(f.Groups))
+	for i, g := range f.Groups {
+		ratio := 1.0
+		if meanRate > 0 {
+			ratio = GroupRate(rates, g) / meanRate
+		}
+		out[i] = ckpt.GroupInterval(base, ratio)
+	}
+	return out
+}
+
+// ExpectedWaste evaluates a formation + per-group intervals: the summed
+// expected waste fraction (checkpoint overhead plus re-execution) across
+// groups, each group treated as an independent failure domain.
+func ExpectedWaste(f group.Formation, rates Rates, ckptCost sim.Time, intervals []sim.Time) float64 {
+	var total float64
+	for i, g := range f.Groups {
+		rate := GroupRate(rates, g)
+		if rate <= 0 {
+			continue
+		}
+		mtbf := sim.Time(1 / rate * float64(sim.Second))
+		total += ckpt.ExpectedWaste(ckptCost, intervals[i], mtbf) * float64(len(g))
+	}
+	return total / float64(f.N)
+}

@@ -1,0 +1,98 @@
+package failure
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegroupByRatePacksFlakyNodesTogether(t *testing.T) {
+	// Ranks 0 and 5 fail often; the rest are reliable.
+	rates := Rates{1e-3, 1e-6, 1e-6, 1e-6, 1e-6, 2e-3, 1e-6, 1e-6}
+	f := RegroupByRate(rates, 2)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.SameGroup(0, 5) {
+		t.Errorf("flaky ranks 0 and 5 not grouped together: %v", f.Groups)
+	}
+	if f.MaxGroupSize() > 2 {
+		t.Errorf("max size exceeded: %v", f.Groups)
+	}
+}
+
+func TestRegroupByRateDefaultSize(t *testing.T) {
+	rates := make(Rates, 16)
+	for i := range rates {
+		rates[i] = 1e-5
+	}
+	f := RegroupByRate(rates, 0)
+	if f.MaxGroupSize() > 4 { // ceil(sqrt(16))
+		t.Errorf("default max size not applied: %v", f.Sizes())
+	}
+}
+
+func TestGroupRateAddsMembers(t *testing.T) {
+	rates := Rates{1, 2, 3}
+	if got := GroupRate(rates, []int{0, 2}); got != 4 {
+		t.Errorf("GroupRate = %v", got)
+	}
+	if m := rates.Mean(); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if (Rates{}).Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestIntervalsShorterForFlakyGroups(t *testing.T) {
+	rates := Rates{1e-3, 1e-3, 1e-6, 1e-6}
+	f := RegroupByRate(rates, 2) // {0,1} flaky, {2,3} reliable
+	iv := Intervals(f, rates, 10*sim.Second, 10000*sim.Second)
+	var flaky, reliable sim.Time
+	for i, g := range f.Groups {
+		if f.SameGroup(g[0], 0) || g[0] == 0 {
+			if GroupRate(rates, g) > 1e-4 {
+				flaky = iv[i]
+			} else {
+				reliable = iv[i]
+			}
+		} else if GroupRate(rates, g) > 1e-4 {
+			flaky = iv[i]
+		} else {
+			reliable = iv[i]
+		}
+	}
+	if flaky == 0 || reliable == 0 {
+		t.Fatalf("missing intervals: %v", iv)
+	}
+	if flaky >= reliable {
+		t.Errorf("flaky group interval %v should be shorter than reliable %v", flaky, reliable)
+	}
+}
+
+func TestExpectedWasteRateAwareBeatsUniform(t *testing.T) {
+	rates := Rates{5e-4, 5e-4, 1e-6, 1e-6, 1e-6, 1e-6, 1e-6, 1e-6}
+	f := RegroupByRate(rates, 2)
+	cost := 5 * sim.Second
+	mtbf := sim.Time(1 / rates.Mean() * float64(sim.Second) / float64(len(rates)))
+
+	aware := Intervals(f, rates, cost, mtbf)
+	wasteAware := ExpectedWaste(f, rates, cost, aware)
+
+	uniform := make([]sim.Time, len(f.Groups))
+	base := aware[0]
+	// Uniform: every group uses the same middle-of-the-road interval.
+	var sum sim.Time
+	for _, v := range aware {
+		sum += v
+	}
+	for i := range uniform {
+		uniform[i] = sum / sim.Time(len(aware))
+	}
+	_ = base
+	wasteUniform := ExpectedWaste(f, rates, cost, uniform)
+	if wasteAware > wasteUniform*1.01 {
+		t.Errorf("rate-aware waste %v worse than uniform %v", wasteAware, wasteUniform)
+	}
+}

@@ -1,0 +1,54 @@
+package group
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write writes the formation in the group-definition file format: one
+// group per line, members as space-separated ranks, '#' comments allowed.
+func (f *Formation) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# group definition: %d ranks, %d groups\n", f.N, len(f.Groups))
+	if _, err := bw.WriteString(f.String()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadFrom parses a group-definition file for n ranks and validates it.
+func ReadFrom(r io.Reader, n int) (Formation, error) {
+	var groups [][]int
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		var g []int
+		for _, field := range strings.Fields(text) {
+			v, err := strconv.Atoi(field)
+			if err != nil {
+				return Formation{}, fmt.Errorf("group: line %d: %w", line, err)
+			}
+			g = append(g, v)
+		}
+		groups = append(groups, g)
+	}
+	if err := sc.Err(); err != nil {
+		return Formation{}, err
+	}
+	f := normalize(n, groups)
+	if err := f.Validate(); err != nil {
+		return Formation{}, err
+	}
+	return f, nil
+}

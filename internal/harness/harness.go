@@ -1,0 +1,290 @@
+// Package harness runs the paper's experiments: it wires workloads,
+// cluster, protocol engines, schedules, and restarts together, repeats each
+// configuration over seeds (the paper averages five repetitions), and
+// formats the same rows and series the paper's tables and figures report.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/mlog"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Mode selects the checkpoint protocol configuration, using the paper's
+// notation.
+type Mode string
+
+// The paper's five configurations.
+const (
+	GP   Mode = "GP"   // trace-assisted group formation
+	GP1  Mode = "GP1"  // one process per group (uncoordinated + logging)
+	GP4  Mode = "GP4"  // four ad-hoc groups of sequential ranks
+	NORM Mode = "NORM" // one global group (LAM/MPI coordinated)
+	VCL  Mode = "VCL"  // MPICH-VCL (Chandy–Lamport, remote servers)
+)
+
+// Schedule describes when checkpoints are requested.
+type Schedule struct {
+	At       sim.Time // single checkpoint at this time (0 = none)
+	Start    sim.Time // first periodic checkpoint (0 = Interval)
+	Interval sim.Time // periodic interval (0 = no periodic checkpoints)
+	MaxCount int      // cap on periodic checkpoints (0 = unlimited)
+}
+
+// Spec is one experiment run.
+type Spec struct {
+	WL      workload.Workload
+	Mode    Mode
+	Seed    int64
+	Cluster cluster.Config // zero value = cluster.Gideon()
+	Sched   Schedule
+
+	// RemoteServers > 0 stores checkpoint images on shared remote
+	// servers (the paper's Section 5.3 setup) instead of local disk.
+	RemoteServers int
+	ServerNIC     float64 // default: Fast Ethernet (12.5 MB/s)
+	ServerDisk    float64 // default: 40 MB/s
+	// RemoteAsync selects NFS-style write-behind semantics (the LAM/MPI
+	// configuration in Section 5.3); VCL always streams synchronously.
+	RemoteAsync bool
+
+	// Trace attaches the communication tracer to the run.
+	Trace bool
+
+	// GroupMax bounds GP's trace-derived group size (0 = ⌈√n⌉).
+	GroupMax int
+}
+
+// Result collects everything a run produced.
+type Result struct {
+	Spec      Spec
+	N         int
+	Name      string // engine name actually used
+	ExecTime  sim.Time
+	Records   []ckpt.Record
+	Snapshots []*ckpt.Snapshot
+	Logs      []*mlog.Set
+	Formation group.Formation
+	Epochs    int
+	Spans     []core.Span
+	Trace     []trace.Record
+	Events    uint64
+}
+
+func zeroIsGideon(c cluster.Config) cluster.Config {
+	if c == (cluster.Config{}) {
+		return cluster.Gideon()
+	}
+	return c
+}
+
+func (s *Spec) storageDefaults() {
+	if s.ServerNIC == 0 {
+		s.ServerNIC = 12.5e6
+	}
+	if s.ServerDisk == 0 {
+		s.ServerDisk = 40e6
+	}
+}
+
+// Run executes one experiment run to completion.
+func Run(spec Spec) (*Result, error) {
+	spec.Cluster = zeroIsGideon(spec.Cluster)
+	spec.storageDefaults()
+	wl := spec.WL
+	n := wl.Procs()
+
+	k := sim.NewKernel(spec.Seed)
+	c := cluster.New(k, n, spec.Cluster)
+	w := mpi.NewWorld(k, c, n)
+
+	var rec *trace.Recorder
+	if spec.Trace {
+		rec = &trace.Recorder{}
+		w.Tracer = rec
+	}
+	var store cluster.Storage = cluster.LocalDisk{}
+	if spec.RemoteServers > 0 {
+		rs := cluster.NewRemoteStore(c, spec.RemoteServers, spec.ServerNIC, spec.ServerDisk)
+		if spec.RemoteAsync {
+			store = cluster.NewAsyncRemote(rs, 0)
+		} else {
+			store = rs
+		}
+	}
+
+	res := &Result{Spec: spec, N: n}
+
+	schedule := func(at func(sim.Time, []int), periodic func(sim.Time, sim.Time, int)) {
+		if spec.Sched.At > 0 {
+			at(spec.Sched.At, nil)
+		}
+		if spec.Sched.Interval > 0 {
+			start := spec.Sched.Start
+			if start == 0 {
+				start = spec.Sched.Interval
+			}
+			periodic(start, spec.Sched.Interval, spec.Sched.MaxCount)
+		}
+	}
+
+	switch spec.Mode {
+	case VCL:
+		v := core.NewVCL(w, store, wl.ImageBytes)
+		schedule(
+			func(t sim.Time, _ []int) { v.ScheduleAt(t) },
+			v.SchedulePeriodic,
+		)
+		w.Launch(wl.Body)
+		if err := k.Run(); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name(), spec.Mode, err)
+		}
+		res.Name = v.Name()
+		res.Records = v.Records()
+		res.Snapshots = v.Snapshots()
+		res.Formation = group.Global(n)
+		res.Epochs = v.Epochs()
+		res.Spans = v.EpochSpans()
+	default:
+		f, err := formationFor(spec)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig(f, wl.ImageBytes)
+		cfg.Store = store
+		e := core.NewEngine(w, cfg)
+		schedule(e.ScheduleAt, e.SchedulePeriodic)
+		w.Launch(wl.Body)
+		if err := k.Run(); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name(), spec.Mode, err)
+		}
+		res.Name = e.Name()
+		res.Records = e.Records()
+		res.Snapshots = e.Snapshots()
+		res.Logs = e.LogSets()
+		res.Formation = f
+		res.Epochs = e.Epochs()
+		res.Spans = e.EpochSpans()
+	}
+
+	for _, r := range w.Ranks {
+		if r.FinishTime > res.ExecTime {
+			res.ExecTime = r.FinishTime
+		}
+	}
+	if rec != nil {
+		res.Trace = rec.Records
+	}
+	res.Events = k.Events()
+	return res, nil
+}
+
+// Restart simulates a whole-application restart from the run's latest
+// checkpoint (the paper's restart measurements).
+func Restart(res *Result, seed int64) (core.RestartOutcome, error) {
+	spec := res.Spec
+	return core.SimulateRestart(core.RestartSpec{
+		N:             res.N,
+		ClusterCfg:    zeroIsGideon(spec.Cluster),
+		Formation:     res.Formation,
+		Snapshots:     res.Snapshots,
+		Logs:          res.Logs,
+		Seed:          seed,
+		RemoteServers: spec.RemoteServers,
+		ServerNIC:     spec.ServerNIC,
+		ServerDisk:    spec.ServerDisk,
+	})
+}
+
+// formationFor resolves the group formation for a group-based mode. GP runs
+// (and caches) a tracing pass of the workload, then applies the paper's
+// Algorithm 2 — the cmd/gbtrace → cmd/gbgroup pipeline in-process.
+func formationFor(spec Spec) (group.Formation, error) {
+	n := spec.WL.Procs()
+	switch spec.Mode {
+	case NORM:
+		return group.Global(n), nil
+	case GP1:
+		return group.Singletons(n), nil
+	case GP4:
+		return group.Fixed(n, 4), nil
+	case GP:
+		return tracedFormation(spec)
+	default:
+		return group.Formation{}, fmt.Errorf("harness: unknown mode %q", spec.Mode)
+	}
+}
+
+var (
+	formationMu    sync.Mutex
+	formationCache = map[string]group.Formation{}
+)
+
+// tracedFormation runs the workload once with the tracer (no checkpoints)
+// and feeds the trace to Algorithm 2. Results are cached per workload
+// configuration.
+func tracedFormation(spec Spec) (group.Formation, error) {
+	n := spec.WL.Procs()
+	max := spec.GroupMax
+	if max <= 0 {
+		max = group.DefaultMaxSize(n)
+	}
+	key := fmt.Sprintf("%s/n%d/G%d", spec.WL.Name(), n, max)
+	formationMu.Lock()
+	defer formationMu.Unlock()
+	if f, ok := formationCache[key]; ok {
+		return f, nil
+	}
+	k := sim.NewKernel(977)
+	cfg := zeroIsGideon(spec.Cluster)
+	cfg.JitterFrac = 0
+	cfg.DaemonEvery = 0
+	c := cluster.New(k, n, cfg)
+	w := mpi.NewWorld(k, c, n)
+	rec := &trace.Recorder{}
+	w.Tracer = rec
+	w.Launch(spec.WL.Body)
+	if err := k.Run(); err != nil {
+		return group.Formation{}, fmt.Errorf("harness: tracing pass for %s: %w", key, err)
+	}
+	f := group.FromTrace(rec.Records, n, max)
+	if err := f.Validate(); err != nil {
+		return group.Formation{}, fmt.Errorf("harness: formation for %s: %w", key, err)
+	}
+	formationCache[key] = f
+	return f, nil
+}
+
+// AggregateCoordination sums per-rank checkpoint durations excluding the
+// image-write stage — the paper's Figure 1 metric ("coordination time is
+// estimated by excluding the time spent in creating the actual checkpoint
+// image").
+func AggregateCoordination(records []ckpt.Record) sim.Time {
+	var t sim.Time
+	for _, r := range records {
+		t += r.Duration() - r.Stages[ckpt.StageWrite]
+	}
+	return t
+}
+
+// MeanCheckpointTime averages per-rank per-epoch checkpoint durations — the
+// paper's Figure 14 metric.
+func MeanCheckpointTime(records []ckpt.Record) sim.Time {
+	if len(records) == 0 {
+		return 0
+	}
+	var t sim.Time
+	for _, r := range records {
+		t += r.Duration()
+	}
+	return t / sim.Time(len(records))
+}

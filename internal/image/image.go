@@ -1,0 +1,186 @@
+// Package image provides the durable representation of checkpoint state:
+// serialized, checksummed images of a rank's protocol snapshot and message
+// logs, plus an in-memory Store keyed like a checkpoint directory.
+//
+// The simulation's timing model charges for image bytes separately (the
+// workload's memory footprint); this package is the functional counterpart —
+// what actually survives a failure. Restart tooling can verify that the
+// snapshot data used for replay decisions round-trips through storage
+// bit-exactly, the moral equivalent of BLCR writing context files plus the
+// protocol's metadata.
+package image
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/mlog"
+)
+
+// Image is one rank's durable checkpoint record.
+type Image struct {
+	Rank     int
+	Epoch    int
+	Snapshot ckpt.Snapshot
+	// Logs holds the flushed sender-log entries per destination at the
+	// time of the checkpoint (what replay can legally draw from).
+	Logs map[int][]mlog.Entry
+	// PayloadBytes is the modelled process-image size (the simulation's
+	// cost input); kept for consistency checks.
+	PayloadBytes int64
+}
+
+// Encoded is a serialized image with its checksum.
+type Encoded struct {
+	Data []byte
+	CRC  uint32
+}
+
+// Encode serializes an image with gob and checksums it.
+func Encode(img *Image) (Encoded, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return Encoded{}, fmt.Errorf("image: encode rank %d: %w", img.Rank, err)
+	}
+	data := buf.Bytes()
+	return Encoded{Data: data, CRC: crc32.ChecksumIEEE(data)}, nil
+}
+
+// Decode verifies the checksum and deserializes an image.
+func Decode(e Encoded) (*Image, error) {
+	if crc32.ChecksumIEEE(e.Data) != e.CRC {
+		return nil, fmt.Errorf("image: checksum mismatch (corrupt image)")
+	}
+	var img Image
+	if err := gob.NewDecoder(bytes.NewReader(e.Data)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("image: decode: %w", err)
+	}
+	return &img, nil
+}
+
+// FromEngineState builds an image from a protocol snapshot and log set.
+func FromEngineState(snap *ckpt.Snapshot, logs *mlog.Set, payload int64) *Image {
+	img := &Image{
+		Rank:         snap.Rank,
+		Epoch:        snap.Epoch,
+		Snapshot:     snap.Clone(),
+		Logs:         map[int][]mlog.Entry{},
+		PayloadBytes: payload,
+	}
+	if logs != nil {
+		for _, dst := range logs.Dsts() {
+			l := logs.Get(dst)
+			img.Logs[dst] = append([]mlog.Entry{}, l.Entries...)
+		}
+	}
+	return img
+}
+
+// Store is an in-memory checkpoint directory: images keyed by (rank, epoch).
+// It is safe for concurrent use (the simulation is single-threaded, but
+// tooling may inspect stores from tests running in parallel).
+type Store struct {
+	mu     sync.Mutex
+	images map[key]Encoded
+}
+
+type key struct{ rank, epoch int }
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{images: map[key]Encoded{}} }
+
+// Put encodes and stores an image, returning its encoded size.
+func (s *Store) Put(img *Image) (int64, error) {
+	enc, err := Encode(img)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.images[key{img.Rank, img.Epoch}] = enc
+	return int64(len(enc.Data)), nil
+}
+
+// Get decodes the image for (rank, epoch).
+func (s *Store) Get(rank, epoch int) (*Image, error) {
+	s.mu.Lock()
+	enc, ok := s.images[key{rank, epoch}]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("image: no image for rank %d epoch %d", rank, epoch)
+	}
+	return Decode(enc)
+}
+
+// Latest returns the highest-epoch image for a rank.
+func (s *Store) Latest(rank int) (*Image, error) {
+	s.mu.Lock()
+	best, found := -1, false
+	for k := range s.images {
+		if k.rank == rank && k.epoch > best {
+			best, found = k.epoch, true
+		}
+	}
+	s.mu.Unlock()
+	if !found {
+		return nil, fmt.Errorf("image: no image for rank %d", rank)
+	}
+	return s.Get(rank, best)
+}
+
+// Epochs lists the epochs stored for a rank, ascending.
+func (s *Store) Epochs(rank int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for k := range s.images {
+		if k.rank == rank {
+			out = append(out, k.epoch)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Prune drops images older than the given epoch for every rank (old
+// checkpoints are garbage once a newer consistent set exists).
+func (s *Store) Prune(beforeEpoch int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.images {
+		if k.epoch < beforeEpoch {
+			delete(s.images, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Verify checks that a stored image round-trips consistently with the live
+// snapshot it was built from (used by tests and the restart path).
+func Verify(img *Image, snap *ckpt.Snapshot) error {
+	if img.Rank != snap.Rank || img.Epoch != snap.Epoch {
+		return fmt.Errorf("image: identity mismatch: image %d/%d vs snapshot %d/%d",
+			img.Rank, img.Epoch, snap.Rank, snap.Epoch)
+	}
+	if len(img.Snapshot.SentTo) != len(snap.SentTo) {
+		return fmt.Errorf("image: SentTo cardinality mismatch")
+	}
+	for q, v := range snap.SentTo {
+		if img.Snapshot.SentTo[q] != v {
+			return fmt.Errorf("image: SentTo[%d] = %d, want %d", q, img.Snapshot.SentTo[q], v)
+		}
+	}
+	for q, v := range snap.RecvdFrom {
+		if img.Snapshot.RecvdFrom[q] != v {
+			return fmt.Errorf("image: RecvdFrom[%d] = %d, want %d", q, img.Snapshot.RecvdFrom[q], v)
+		}
+	}
+	return nil
+}

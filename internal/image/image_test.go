@@ -1,0 +1,146 @@
+package image
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ckpt"
+	"repro/internal/mlog"
+)
+
+func sampleSnap(rank, epoch int) *ckpt.Snapshot {
+	return &ckpt.Snapshot{
+		Rank: rank, Epoch: epoch, At: 1234,
+		ImageBytes: 1 << 20,
+		SentTo:     map[int]int64{2: 100, 5: 700},
+		RecvdFrom:  map[int]int64{2: 50},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	logs := mlog.NewSet(1, 0)
+	logs.Log(2, 100, 0)
+	logs.Log(5, 700, 0)
+	img := FromEngineState(sampleSnap(1, 3), logs, 42<<20)
+	enc, err := Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != 1 || got.Epoch != 3 || got.PayloadBytes != 42<<20 {
+		t.Errorf("identity lost: %+v", got)
+	}
+	if got.Snapshot.SentTo[5] != 700 {
+		t.Errorf("snapshot lost: %+v", got.Snapshot)
+	}
+	if len(got.Logs[2]) != 1 || got.Logs[2][0].Bytes != 100 {
+		t.Errorf("log entries lost: %+v", got.Logs)
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	img := FromEngineState(sampleSnap(0, 0), nil, 0)
+	enc, err := Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.Data[len(enc.Data)/2] ^= 0xFF
+	if _, err := Decode(enc); err == nil {
+		t.Error("corrupt image decoded without error")
+	}
+}
+
+func TestStorePutGetLatest(t *testing.T) {
+	s := NewStore()
+	for epoch := 0; epoch < 3; epoch++ {
+		if _, err := s.Put(FromEngineState(sampleSnap(7, epoch), nil, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, err := s.Get(7, 1)
+	if err != nil || img.Epoch != 1 {
+		t.Fatalf("Get = %v, %v", img, err)
+	}
+	latest, err := s.Latest(7)
+	if err != nil || latest.Epoch != 2 {
+		t.Fatalf("Latest = %v, %v", latest, err)
+	}
+	if _, err := s.Get(9, 0); err == nil {
+		t.Error("missing rank returned an image")
+	}
+	if _, err := s.Latest(9); err == nil {
+		t.Error("Latest on missing rank succeeded")
+	}
+	epochs := s.Epochs(7)
+	if len(epochs) != 3 || epochs[0] != 0 || epochs[2] != 2 {
+		t.Errorf("Epochs = %v", epochs)
+	}
+}
+
+func TestStorePrune(t *testing.T) {
+	s := NewStore()
+	for epoch := 0; epoch < 4; epoch++ {
+		s.Put(FromEngineState(sampleSnap(1, epoch), nil, 0))
+	}
+	if n := s.Prune(2); n != 2 {
+		t.Errorf("Prune removed %d, want 2", n)
+	}
+	if _, err := s.Get(1, 1); err == nil {
+		t.Error("pruned image still present")
+	}
+	if _, err := s.Get(1, 3); err != nil {
+		t.Error("recent image pruned")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	snap := sampleSnap(1, 2)
+	img := FromEngineState(snap, nil, 0)
+	if err := Verify(img, snap); err != nil {
+		t.Errorf("Verify of faithful image failed: %v", err)
+	}
+	bad := FromEngineState(sampleSnap(1, 2), nil, 0)
+	bad.Snapshot.SentTo[2] = 999
+	if err := Verify(bad, snap); err == nil {
+		t.Error("Verify accepted tampered volumes")
+	}
+	other := FromEngineState(sampleSnap(3, 2), nil, 0)
+	if err := Verify(other, snap); err == nil {
+		t.Error("Verify accepted wrong rank")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary volume maps bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(rank uint8, vols []int64) bool {
+		snap := &ckpt.Snapshot{
+			Rank: int(rank), SentTo: map[int]int64{}, RecvdFrom: map[int]int64{},
+		}
+		for i, v := range vols {
+			if v < 0 {
+				v = -v
+			}
+			snap.SentTo[i] = v
+			snap.RecvdFrom[i] = v / 2
+		}
+		img := FromEngineState(snap, nil, 0)
+		enc, err := Encode(img)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		if err := Verify(got, snap); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package mpi
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestByteConservationProperty: for random traffic patterns that complete,
+// every byte pushed by a sender is eventually counted at the receiver's
+// transport, and application consumption never exceeds transport delivery.
+func TestByteConservationProperty(t *testing.T) {
+	f := func(seed int64, pattern []uint8) bool {
+		const n = 5
+		k, w := propWorld(seed, n)
+		// Build a deterministic exchange plan: each entry is a
+		// (sender, receiver, size) triple; receivers post matching
+		// receives in the same order.
+		type xfer struct {
+			src, dst int
+			bytes    int64
+		}
+		var plan []xfer
+		for i, b := range pattern {
+			src := int(b) % n
+			dst := (int(b>>3) + 1 + src) % n
+			if src == dst {
+				continue
+			}
+			plan = append(plan, xfer{src, dst, int64(b)*100 + 1})
+			if len(plan) > 40 {
+				break
+			}
+			_ = i
+		}
+		w.Launch(func(r *Rank) {
+			for i, x := range plan {
+				if x.src == r.ID {
+					r.Send(x.dst, 9000+i, x.bytes, nil)
+				}
+				if x.dst == r.ID {
+					r.Recv(x.src, 9000+i)
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				sent := w.Ranks[i].SentBytes(j)
+				recvd := w.Ranks[j].RecvdBytes(i)
+				app := w.Ranks[j].AppRecvdBytes(i)
+				if sent != recvd {
+					return false // transport lost or invented bytes
+				}
+				if app != recvd {
+					return false // everything posted was consumed
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(r.Int63())
+			p := make([]uint8, 5+r.Intn(40))
+			r.Read(p)
+			v[1] = reflect.ValueOf(p)
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func propWorld(seed int64, n int) (*sim.Kernel, *World) {
+	k := sim.NewKernel(seed)
+	cfg := cluster.Gideon()
+	cfg.JitterFrac = 0
+	cfg.DaemonEvery = 0
+	c := cluster.New(k, n, cfg)
+	return k, NewWorld(k, c, n)
+}

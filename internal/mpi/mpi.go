@@ -1,0 +1,168 @@
+// Package mpi provides an MPI-like message-passing layer on top of the
+// simulated cluster: ranks with blocking point-to-point sends/receives
+// (source and tag matching, any-source), collectives decomposed to
+// point-to-point (as LAM/MPI does), and the interposition points a
+// checkpoint/restart protocol needs:
+//
+//   - Hooks: a callback before every application send (message logging,
+//     piggybacking) and at every delivery (counter updates, log GC) —
+//     the moral equivalent of LAM/MPI's CRTCP SSI module;
+//   - Gate / SendGate: per-rank freeze points ("Lock MPI"; send-only
+//     freeze for Chandy–Lamport protocols);
+//   - per-pair transport byte counters, used to drain in-transit messages
+//     during coordinated checkpoints;
+//   - a control plane (CtrlSend/CtrlRecv) for protocol daemons that
+//     bypasses hooks, gates, and application counters but still pays
+//     network costs.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// Tag bases. Application workloads use small non-negative tags; collectives
+// and the control plane use reserved ranges so they never cross-match.
+const (
+	tagCollBase = 1 << 20 // collective internals
+	TagCtrlBase = 1 << 24 // protocol control plane
+)
+
+// Msg is a message envelope. Payload is optional structured data (used by
+// control messages and tests); Bytes is what the network model charges.
+type Msg struct {
+	Src, Dst, Tag int
+	Bytes         int64
+	Payload       any
+	PB            map[int]int64 // piggybacked values (peer → RR volume)
+	SendTime      sim.Time
+	ArriveTime    sim.Time
+	Ctrl          bool
+}
+
+// Hooks is implemented by checkpoint protocols to interpose on application
+// traffic.
+type Hooks interface {
+	// BeforeSend runs in the sending process's context just before the
+	// message enters the network. It may mutate the message (piggyback)
+	// and returns any extra sender-side delay (e.g. the memory copy of
+	// sender-based logging). It must not block.
+	BeforeSend(r *Rank, m *Msg) sim.Time
+	// OnDeliver runs in kernel context when the message reaches the
+	// destination's transport (before the application receives it). It
+	// must not block.
+	OnDeliver(dst *Rank, m *Msg)
+}
+
+// Tracer is implemented by the trace recorder.
+type Tracer interface {
+	Send(t sim.Time, src, dst, tag int, bytes int64)
+	Deliver(t sim.Time, src, dst, tag int, bytes int64)
+}
+
+// World is a set of ranks on a cluster.
+type World struct {
+	K      *sim.Kernel
+	C      *cluster.Cluster
+	N      int
+	Ranks  []*Rank
+	Hooks  Hooks
+	Tracer Tracer
+
+	// SliceSeconds is the compute-slice granularity: the maximum stretch
+	// of computation between freeze-point checks. Smaller values make
+	// checkpoints lock faster but cost more simulation events.
+	SliceSeconds float64
+}
+
+// NewWorld creates a world of n ranks, one per cluster node.
+func NewWorld(k *sim.Kernel, c *cluster.Cluster, n int) *World {
+	if n > len(c.Nodes) {
+		panic("mpi: more ranks than cluster nodes")
+	}
+	w := &World{K: k, C: c, N: n, SliceSeconds: 0.25}
+	for i := 0; i < n; i++ {
+		r := &Rank{
+			W:        w,
+			ID:       i,
+			Node:     c.Nodes[i],
+			mbox:     sim.NewMailbox(k, fmt.Sprintf("rank%d", i)),
+			ctrl:     sim.NewMailbox(k, fmt.Sprintf("ctrl%d", i)),
+			Gate:     sim.NewGate(k, fmt.Sprintf("gate%d", i)),
+			SendGate: sim.NewGate(k, fmt.Sprintf("sendgate%d", i)),
+			sent:     make([]int64, n),
+			recvd:    make([]*sim.Counter, n),
+			appRecvd: make([]int64, n),
+		}
+		for j := 0; j < n; j++ {
+			r.recvd[j] = sim.NewCounter(k, fmt.Sprintf("rx%d<-%d", i, j))
+		}
+		w.Ranks = append(w.Ranks, r)
+	}
+	return w
+}
+
+// Launch spawns one application process per rank running body and records
+// per-rank finish times. The caller then runs the kernel.
+func (w *World) Launch(body func(r *Rank)) {
+	for _, r := range w.Ranks {
+		r := r
+		r.Proc = w.K.Spawn(fmt.Sprintf("rank%d", r.ID), func(p *sim.Proc) {
+			body(r)
+			r.FinishTime = p.Now()
+			r.Finished = true
+		})
+	}
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	W    *World
+	ID   int
+	Node *cluster.Node
+	Proc *sim.Proc
+
+	// Gate is the full freeze point: while closed, the rank can neither
+	// send nor complete receives nor compute. SendGate freezes sends only
+	// (Chandy–Lamport-style protocols).
+	Gate     *sim.Gate
+	SendGate *sim.Gate
+
+	mbox     *sim.Mailbox
+	ctrl     *sim.Mailbox
+	sent     []int64        // transport bytes sent to each peer (app traffic)
+	recvd    []*sim.Counter // transport bytes received from each peer
+	appRecvd []int64        // bytes the application has consumed per peer
+
+	FinishTime sim.Time
+	Finished   bool
+
+	// Protocol-private per-rank state (set by the installed protocol).
+	Ext any
+}
+
+// SentBytes returns the application bytes this rank has pushed into the
+// network toward dst (including in-flight bytes).
+func (r *Rank) SentBytes(dst int) int64 { return r.sent[dst] }
+
+// RecvdCounter returns the transport-level received-bytes counter for
+// messages from src. Protocols drain channels by awaiting it.
+func (r *Rank) RecvdCounter(src int) *sim.Counter { return r.recvd[src] }
+
+// RecvdBytes returns the transport-level bytes received from src (delivered
+// to this node, whether or not the application has consumed them).
+func (r *Rank) RecvdBytes(src int) int64 { return r.recvd[src].Value() }
+
+// AppRecvdBytes returns the bytes the application has actually consumed
+// (completed Recv calls) from src. This is Algorithm 1's R_X: a frozen rank
+// stops consuming, so in-flight and buffered messages at a checkpoint are
+// not covered by the checkpoint and must be replayed on restart.
+func (r *Rank) AppRecvdBytes(src int) int64 { return r.appRecvd[src] }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.W.K.Now() }

@@ -1,0 +1,125 @@
+package mpi
+
+import "repro/internal/sim"
+
+// Send transmits an application message of size bytes to rank dst with the
+// given tag, blocking the caller for the sender-side cost (freeze gates,
+// logging delay, NIC serialization). Delivery happens asynchronously at the
+// network-model arrival time.
+func (r *Rank) Send(dst, tag int, bytes int64, payload any) {
+	p := r.Proc
+	r.Gate.Pass(p)
+	r.SendGate.Pass(p)
+	m := &Msg{
+		Src: r.ID, Dst: dst, Tag: tag,
+		Bytes: bytes, Payload: payload,
+		SendTime: r.Now(),
+	}
+	if h := r.W.Hooks; h != nil {
+		if extra := h.BeforeSend(r, m); extra > 0 {
+			p.Hold(extra)
+		}
+	}
+	if tr := r.W.Tracer; tr != nil {
+		tr.Send(r.Now(), m.Src, m.Dst, m.Tag, m.Bytes)
+	}
+	r.sent[dst] += bytes
+	r.deliver(p, m)
+}
+
+// deliver pushes m through the network and schedules its arrival.
+func (r *Rank) deliver(p *sim.Proc, m *Msg) {
+	w := r.W
+	d := w.Ranks[m.Dst]
+	arr := w.C.Transfer(p, r.Node, d.Node, m.Bytes)
+	w.K.At(arr, func() {
+		m.ArriveTime = w.K.Now()
+		if !m.Ctrl {
+			d.recvd[m.Src].Add(m.Bytes)
+			if h := w.Hooks; h != nil {
+				h.OnDeliver(d, m)
+			}
+			if tr := w.Tracer; tr != nil {
+				tr.Deliver(m.ArriveTime, m.Src, m.Dst, m.Tag, m.Bytes)
+			}
+		}
+		d.mailboxFor(m).Put(m)
+	})
+}
+
+func (d *Rank) mailboxFor(m *Msg) *sim.Mailbox {
+	if m.Ctrl {
+		return d.ctrl
+	}
+	return d.mbox
+}
+
+func match(src, tag int) func(any) bool {
+	return func(v any) bool {
+		m := v.(*Msg)
+		return (src == AnySource || m.Src == src) && m.Tag == tag
+	}
+}
+
+// Recv blocks until an application message from src (or AnySource) with the
+// given tag arrives, and returns it. If the rank is frozen when the message
+// completes, the application parks at the freeze gate before consuming it —
+// the message is delivered (it is part of the checkpointed state) but the
+// application makes no further progress until the checkpoint finishes.
+func (r *Rank) Recv(src, tag int) *Msg {
+	m := r.mbox.Recv(r.Proc, match(src, tag)).(*Msg)
+	r.Gate.Pass(r.Proc)
+	r.appRecvd[m.Src] += m.Bytes
+	return m
+}
+
+// Sendrecv exchanges messages with a partner (send to dst, receive from src)
+// without deadlocking: the send completes first (sends are asynchronous at
+// the transport level), then the receive blocks.
+func (r *Rank) Sendrecv(dst, sendTag int, bytes int64, src, recvTag int) *Msg {
+	r.Send(dst, sendTag, bytes, nil)
+	return r.Recv(src, recvTag)
+}
+
+// Compute burns flops of computation in slices, checking the freeze gate at
+// every slice boundary so a checkpoint request can lock the rank promptly.
+func (r *Rank) Compute(flops float64) {
+	slice := r.W.SliceSeconds * r.Node.Cfg.FlopRate
+	for flops > 0 {
+		r.Gate.Pass(r.Proc)
+		chunk := flops
+		if chunk > slice {
+			chunk = slice
+		}
+		r.Node.Compute(r.Proc, chunk)
+		flops -= chunk
+	}
+}
+
+// CtrlSend transmits a protocol control message from this rank's node. It
+// bypasses freeze gates, hooks, tracing, and application counters, but pays
+// full network costs. p is the calling daemon's process.
+func (r *Rank) CtrlSend(p *sim.Proc, dst, tag int, bytes int64, payload any) {
+	m := &Msg{
+		Src: r.ID, Dst: dst, Tag: tag,
+		Bytes: bytes, Payload: payload,
+		SendTime: r.Now(), Ctrl: true,
+	}
+	r.deliver(p, m)
+}
+
+// CtrlRecv blocks the daemon process p until a control message from src (or
+// AnySource) with the given tag arrives.
+func (r *Rank) CtrlRecv(p *sim.Proc, src, tag int) *Msg {
+	return r.ctrl.Recv(p, match(src, tag)).(*Msg)
+}
+
+// CtrlTryRecv returns a queued control message matching (src, tag) if one is
+// already present.
+func (r *Rank) CtrlTryRecv(src, tag int) (*Msg, bool) {
+	v, ok := r.ctrl.TryRecv(match(src, tag))
+	if !ok {
+		return nil, false
+	}
+	return v.(*Msg), true
+}

@@ -1,0 +1,55 @@
+package sim
+
+// Counter is a monotone non-decreasing counter with await-at-least
+// semantics. Checkpoint coordination uses one Counter per (sender, receiver)
+// pair of transport bytes: draining a channel is "await received ≥ the
+// sender's bookmarked sent count".
+type Counter struct {
+	k       *Kernel
+	name    string
+	v       int64
+	waiters []*counterWaiter
+}
+
+type counterWaiter struct {
+	p      *Proc
+	target int64
+}
+
+// NewCounter returns a counter starting at zero.
+func NewCounter(k *Kernel, name string) *Counter {
+	return &Counter{k: k, name: name}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Add increases the counter by n (which must be non-negative) and wakes any
+// waiter whose target is now reached. Add may be called from kernel context.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("sim: Counter.Add with negative value")
+	}
+	c.v += n
+	if len(c.waiters) == 0 {
+		return
+	}
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if c.v >= w.target {
+			c.k.scheduleWake(c.k.now, w.p)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+// AwaitAtLeast blocks p until the counter reaches target. It returns
+// immediately if the counter is already there.
+func (c *Counter) AwaitAtLeast(p *Proc, target int64) {
+	for c.v < target {
+		c.waiters = append(c.waiters, &counterWaiter{p: p, target: target})
+		p.block("counter " + c.name)
+	}
+}

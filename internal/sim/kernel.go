@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// event is a scheduled occurrence: either the wakeup of a blocked process or
+// a kernel-context callback.
+type event struct {
+	at    Time
+	seq   uint64 // tie-break: FIFO among events at the same instant
+	p     *Proc  // non-nil: resume this process…
+	token uint64 // …if its wake token still matches
+	fn    func() // non-nil: run this callback in kernel context
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event   { return h[0] }
+func (h *eventHeap) pop() *event   { return heap.Pop(h).(*event) }
+func (h *eventHeap) push(e *event) { heap.Push(h, e) }
+func (h *eventHeap) init()         { heap.Init(h) }
+
+// Kernel is a discrete-event simulation kernel. The zero value is not usable;
+// construct with NewKernel.
+type Kernel struct {
+	now   Time
+	eq    eventHeap
+	seq   uint64
+	yield chan struct{} // active process → kernel: "I am blocked again"
+	procs []*Proc
+	live  int // processes that have not finished
+	rng   *rand.Rand
+
+	running bool
+	stopAt  Time // 0 = no horizon
+	events  uint64
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// Identical seeds produce identical simulations.
+func NewKernel(seed int64) *Kernel {
+	k := &Kernel{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	k.eq.init()
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Events returns the number of events processed so far (for diagnostics).
+func (k *Kernel) Events() uint64 { return k.events }
+
+// Procs returns the processes spawned so far.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+// SetHorizon makes Run stop once virtual time would exceed t. Zero disables
+// the horizon.
+func (k *Kernel) SetHorizon(t Time) { k.stopAt = t }
+
+// At schedules fn to run in kernel context at virtual time t (or now, if t is
+// in the past). fn must not block: it may schedule events, put messages into
+// mailboxes, and spawn processes, but must not call Hold, Recv, or any other
+// blocking primitive.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.eq.push(&event{at: t, seq: k.seq, fn: fn})
+}
+
+// After is At relative to the current time.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// scheduleWake schedules the resumption of p at time t. The wake is dropped
+// if p is woken by another path first (its token advances on every resume).
+func (k *Kernel) scheduleWake(t Time, p *Proc) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.eq.push(&event{at: t, seq: k.seq, p: p, token: p.token})
+}
+
+// Spawn creates a simulated process named name running fn and schedules it to
+// start at the current virtual time.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, false)
+}
+
+// SpawnDaemon is Spawn for background service processes (protocol daemons,
+// controllers). A blocked daemon does not count as a deadlock: Run returns
+// nil when only daemons remain.
+func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, true)
+}
+
+func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		k:       k,
+		id:      len(k.procs),
+		name:    name,
+		resume:  make(chan struct{}),
+		blocked: true,
+		state:   "start",
+		daemon:  daemon,
+	}
+	k.procs = append(k.procs, p)
+	if !daemon {
+		k.live++
+	}
+	go func() {
+		<-p.resume
+		p.blocked = false
+		p.state = "running"
+		fn(p)
+		p.done = true
+		if !p.daemon {
+			p.k.live--
+		}
+		p.k.yield <- struct{}{}
+	}()
+	k.scheduleWake(k.now, p)
+	return p
+}
+
+// activate hands control to p and waits until it blocks or finishes.
+func (k *Kernel) activate(p *Proc) {
+	p.token++ // invalidate other pending wakeups for p
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// Run processes events until the queue drains or the horizon is reached.
+// It returns a *DeadlockError if live processes remain blocked with nothing
+// scheduled, and nil otherwise.
+func (k *Kernel) Run() error {
+	if k.running {
+		panic("sim: Kernel.Run is not reentrant")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for k.eq.Len() > 0 {
+		if k.stopAt != 0 && k.eq.peek().at > k.stopAt {
+			return nil
+		}
+		ev := k.eq.pop()
+		if ev.at < k.now {
+			panic("sim: time reversal")
+		}
+		k.now = ev.at
+		k.events++
+		switch {
+		case ev.p != nil:
+			p := ev.p
+			if p.done || !p.blocked || ev.token != p.token {
+				continue // stale wakeup
+			}
+			k.activate(p)
+		case ev.fn != nil:
+			ev.fn()
+		}
+	}
+	if k.live > 0 {
+		var blocked []string
+		for _, p := range k.procs {
+			if !p.done && !p.daemon {
+				blocked = append(blocked, p.name+": "+p.state)
+			}
+		}
+		return &DeadlockError{Now: k.now, Blocked: blocked}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package sim
+
+// Mailbox is an unbounded message queue with predicate matching: a receiver
+// may wait for the first message satisfying an arbitrary condition (such as
+// an MPI source/tag match). Messages that match no current waiter queue up in
+// FIFO order.
+type Mailbox struct {
+	k       *Kernel
+	name    string
+	items   []any
+	waiters []*mboxWaiter
+}
+
+type mboxWaiter struct {
+	p     *Proc
+	match func(any) bool // nil matches anything
+	got   any
+	ok    bool
+}
+
+// NewMailbox returns an empty mailbox. name is used in deadlock reports.
+func NewMailbox(k *Kernel, name string) *Mailbox {
+	return &Mailbox{k: k, name: name}
+}
+
+// Len returns the number of queued (unmatched) messages.
+func (m *Mailbox) Len() int { return len(m.items) }
+
+// Put delivers v to the first waiter whose predicate matches, or queues it.
+// Put never blocks and may be called from kernel context.
+func (m *Mailbox) Put(v any) {
+	for i, w := range m.waiters {
+		if w.match == nil || w.match(v) {
+			w.got, w.ok = v, true
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			m.k.scheduleWake(m.k.now, w.p)
+			return
+		}
+	}
+	m.items = append(m.items, v)
+}
+
+// Recv blocks p until a message matching match (nil = any) is available and
+// returns it. Matching among queued messages is FIFO.
+func (m *Mailbox) Recv(p *Proc, match func(any) bool) any {
+	for i, v := range m.items {
+		if match == nil || match(v) {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			return v
+		}
+	}
+	w := &mboxWaiter{p: p, match: match}
+	m.waiters = append(m.waiters, w)
+	p.block("recv " + m.name)
+	if !w.ok {
+		panic("sim: spurious wakeup in Mailbox.Recv")
+	}
+	return w.got
+}
+
+// TryRecv returns the first queued message matching match (nil = any)
+// without blocking; ok is false if none is queued.
+func (m *Mailbox) TryRecv(match func(any) bool) (v any, ok bool) {
+	for i, item := range m.items {
+		if match == nil || match(item) {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			return item, true
+		}
+	}
+	return nil, false
+}

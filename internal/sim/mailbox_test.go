@@ -1,0 +1,161 @@
+package sim
+
+import "testing"
+
+type tmsg struct{ src, tag int }
+
+func TestMailboxFIFO(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox(k, "mb")
+	var got []int
+	k.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p, nil).(int))
+		}
+	})
+	k.Spawn("send", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			mb.Put(i)
+			p.Hold(Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want [0 1 2]", got)
+		}
+	}
+}
+
+func TestMailboxPredicateMatch(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox(k, "mb")
+	var first tmsg
+	k.Spawn("recv", func(p *Proc) {
+		// Wait specifically for src=2 even though src=1 arrives first.
+		v := mb.Recv(p, func(v any) bool { return v.(tmsg).src == 2 })
+		first = v.(tmsg)
+	})
+	k.Spawn("send", func(p *Proc) {
+		p.Hold(Millisecond)
+		mb.Put(tmsg{src: 1})
+		p.Hold(Millisecond)
+		mb.Put(tmsg{src: 2})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first.src != 2 {
+		t.Errorf("matched src=%d, want 2", first.src)
+	}
+	if mb.Len() != 1 {
+		t.Errorf("len = %d, want 1 (src=1 left queued)", mb.Len())
+	}
+}
+
+func TestMailboxQueuedMessageMatchedImmediately(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox(k, "mb")
+	mb.Put(tmsg{src: 7})
+	var at Time = -1
+	k.Spawn("recv", func(p *Proc) {
+		p.Hold(Second)
+		mb.Recv(p, func(v any) bool { return v.(tmsg).src == 7 })
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Second {
+		t.Errorf("recv of queued message blocked until %v", at)
+	}
+}
+
+func TestMailboxMultipleWaitersFIFO(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox(k, "mb")
+	var order []string
+	spawnWaiter := func(name string) {
+		k.Spawn(name, func(p *Proc) {
+			mb.Recv(p, nil)
+			order = append(order, name)
+		})
+	}
+	spawnWaiter("first")
+	spawnWaiter("second")
+	k.Spawn("send", func(p *Proc) {
+		p.Hold(Second)
+		mb.Put(1)
+		p.Hold(Second)
+		mb.Put(2)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Errorf("waiter wake order = %v", order)
+	}
+}
+
+func TestMailboxWaitersMatchedByPredicate(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox(k, "mb")
+	var tagGot = map[int]int{}
+	for _, tag := range []int{10, 20} {
+		tag := tag
+		k.Spawn("recv", func(p *Proc) {
+			v := mb.Recv(p, func(v any) bool { return v.(tmsg).tag == tag })
+			tagGot[tag] = v.(tmsg).src
+		})
+	}
+	k.Spawn("send", func(p *Proc) {
+		p.Hold(Millisecond)
+		mb.Put(tmsg{src: 1, tag: 20}) // delivered to the tag=20 waiter
+		mb.Put(tmsg{src: 2, tag: 10})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tagGot[20] != 1 || tagGot[10] != 2 {
+		t.Errorf("tagGot = %v", tagGot)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox(k, "mb")
+	if _, ok := mb.TryRecv(nil); ok {
+		t.Error("TryRecv on empty mailbox succeeded")
+	}
+	mb.Put(tmsg{src: 3})
+	mb.Put(tmsg{src: 4})
+	if _, ok := mb.TryRecv(func(v any) bool { return v.(tmsg).src == 9 }); ok {
+		t.Error("TryRecv matched nonexistent message")
+	}
+	v, ok := mb.TryRecv(func(v any) bool { return v.(tmsg).src == 4 })
+	if !ok || v.(tmsg).src != 4 {
+		t.Errorf("TryRecv = %v, %v", v, ok)
+	}
+	if mb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", mb.Len())
+	}
+}
+
+func TestMailboxPutFromKernelContext(t *testing.T) {
+	k := NewKernel(1)
+	mb := NewMailbox(k, "mb")
+	var at Time
+	k.Spawn("recv", func(p *Proc) {
+		mb.Recv(p, nil)
+		at = p.Now()
+	})
+	k.At(Seconds(2), func() { mb.Put("x") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Seconds(2) {
+		t.Errorf("received at %v, want 2s", at)
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+// Proc is a simulated process. Exactly one Proc executes at any instant; a
+// Proc runs until it calls a blocking primitive (Hold, Mailbox.Recv,
+// Resource.Use, Gate.Pass, Counter.AwaitAtLeast), at which point control
+// returns to the kernel.
+type Proc struct {
+	k       *Kernel
+	id      int
+	name    string
+	resume  chan struct{}
+	token   uint64 // wake token; advanced on every resume
+	blocked bool
+	done    bool
+	daemon  bool   // daemons do not count toward deadlock detection
+	state   string // human-readable blocked state, for deadlock reports
+}
+
+// Daemon reports whether the process was spawned with SpawnDaemon.
+func (p *Proc) Daemon() bool { return p.daemon }
+
+// ID returns the process's kernel-assigned id (spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// State returns the process's current blocked-state description.
+func (p *Proc) State() string { return p.state }
+
+// Done reports whether the process has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// block parks the process with the given state description until the kernel
+// resumes it. Callers must have arranged a wakeup (a scheduled event or
+// registration with a mailbox/gate/counter) before calling block.
+func (p *Proc) block(state string) {
+	p.state = state
+	p.blocked = true
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.blocked = false
+	p.state = "running"
+}
+
+// Hold advances the process's virtual time by d, modelling computation or a
+// fixed delay. Negative durations are treated as zero.
+func (p *Proc) Hold(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.scheduleWake(p.k.now+d, p)
+	p.block("hold")
+}
+
+// HoldUntil blocks until virtual time t (no-op if t is in the past).
+func (p *Proc) HoldUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.k.scheduleWake(t, p)
+	p.block("holdUntil")
+}

@@ -1,0 +1,96 @@
+package sim
+
+// Resource models a FIFO server with a fixed service rate, such as a network
+// interface or a disk. Requests are served in arrival order; a request of b
+// bytes takes b/rate seconds of exclusive service. Resource keeps only the
+// time at which the server becomes free, so booking is O(1).
+//
+// Two usage styles are supported:
+//
+//   - Use: the calling process blocks until its request completes (a process
+//     writing its own checkpoint image to disk).
+//   - Reserve/ReserveAt: book capacity and obtain the completion time without
+//     blocking (computing the delivery time of an in-flight message as it
+//     passes through the receiver's NIC).
+type Resource struct {
+	k    *Kernel
+	name string
+	rate float64 // bytes per second
+
+	freeAt Time
+	busy   Time  // total busy time, for utilization stats
+	served int64 // total bytes served
+}
+
+// NewResource returns a resource serving rate bytes per second.
+func NewResource(k *Kernel, name string, rate float64) *Resource {
+	if rate <= 0 {
+		panic("sim: Resource rate must be positive")
+	}
+	return &Resource{k: k, name: name, rate: rate}
+}
+
+// Rate returns the service rate in bytes per second.
+func (r *Resource) Rate() float64 { return r.rate }
+
+// BusyTime returns the cumulative busy time of the server.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// BytesServed returns the cumulative bytes served.
+func (r *Resource) BytesServed() int64 { return r.served }
+
+// serviceTime returns the time needed to serve n bytes.
+func (r *Resource) serviceTime(n int64) Time {
+	return Time(float64(n) / r.rate * float64(Second))
+}
+
+// ReserveAt books n bytes of service starting no earlier than t and returns
+// the completion time. It never blocks.
+func (r *Resource) ReserveAt(t Time, n int64) Time {
+	if t < r.freeAt {
+		t = r.freeAt
+	}
+	d := r.serviceTime(n)
+	r.freeAt = t + d
+	r.busy += d
+	r.served += n
+	return r.freeAt
+}
+
+// Reserve books n bytes of service starting now (or when the server frees
+// up) and returns the completion time. It never blocks.
+func (r *Resource) Reserve(n int64) Time { return r.ReserveAt(r.k.now, n) }
+
+// BlockUntil keeps the resource busy until at least t (backpressure: a
+// streaming transfer occupies the local NIC until the remote side has
+// drained it).
+func (r *Resource) BlockUntil(t Time) {
+	if t > r.freeAt {
+		r.busy += t - r.freeAt
+		r.freeAt = t
+	}
+}
+
+// Use books n bytes of service and blocks p until the request completes,
+// returning the completion time.
+func (r *Resource) Use(p *Proc, n int64) Time {
+	end := r.Reserve(n)
+	p.k.scheduleWake(end, p)
+	p.block("resource " + r.name)
+	return end
+}
+
+// UseDur occupies the resource for a fixed duration d (independent of rate)
+// and blocks p until it completes. Useful for seek times or fixed overheads.
+func (r *Resource) UseDur(p *Proc, d Time) Time {
+	t := p.k.now
+	if t < r.freeAt {
+		t = r.freeAt
+	}
+	end := t + d
+	r.freeAt = end
+	r.busy += d
+	p.k.scheduleWake(end, p)
+	p.block("resource " + r.name)
+	return end
+}

@@ -1,0 +1,163 @@
+// Package stats provides the small statistics and table-formatting helpers
+// the experiment harness uses: mean/σ across repetitions (the paper repeats
+// every experiment five times) and aligned text tables matching the rows and
+// series the paper's figures report.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs (0 if fewer than 2).
+func Std(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// MinMax returns the extrema of xs (0,0 for an empty slice).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Summary is mean ± σ over repetitions.
+type Summary struct {
+	Mean, Std float64
+	N         int
+}
+
+// Summarize folds repetitions into a Summary.
+func Summarize(xs []float64) Summary {
+	return Summary{Mean: Mean(xs), Std: Std(xs), N: len(xs)}
+}
+
+// String formats the summary as "mean±σ".
+func (s Summary) String() string {
+	if s.N <= 1 || s.Std == 0 {
+		return fmt.Sprintf("%.2f", s.Mean)
+	}
+	return fmt.Sprintf("%.2f±%.2f", s.Mean, s.Std)
+}
+
+// Table is an aligned text table with a title — one per paper table/figure.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying each cell with %v (floats get %.2f).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// TSV renders the table as tab-separated values for plotting.
+func (t *Table) TSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Columns, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, "\t"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

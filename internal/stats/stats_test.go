@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := Std(xs); math.Abs(s-2.138) > 0.01 {
+		t.Errorf("Std = %v, want ≈2.14 (sample)", s)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Error("empty MinMax should be 0,0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if got := s.String(); !strings.Contains(got, "±") {
+		t.Errorf("String = %q, want mean±σ form", got)
+	}
+	one := Summarize([]float64{5})
+	if got := one.String(); got != "5.00" {
+		t.Errorf("single-sample String = %q", got)
+	}
+}
+
+func TestMeanPropertyBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		lo, hi := MinMax(clean)
+		return m >= lo-1e-6 && m <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Fig X", Columns: []string{"n", "GP", "NORM"}}
+	tb.AddRow(16, 1.5, 3.25)
+	tb.AddRow(128, Summarize([]float64{2, 2}), "n/a")
+	tb.AddNote("checkpoint at t=%ds", 60)
+	out := tb.String()
+	for _, want := range []string{"== Fig X ==", "n", "GP", "NORM", "1.50", "3.25", "128", "note: checkpoint at t=60s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, rule, 2 rows, note
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableTSV(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow(1, 2)
+	got := tb.TSV()
+	if got != "a\tb\n1\t2\n" {
+		t.Errorf("TSV = %q", got)
+	}
+}

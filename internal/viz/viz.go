@@ -1,0 +1,135 @@
+// Package viz renders x/y series as ASCII line charts — a terminal stand-in
+// for the paper's figures. Each series gets a glyph; points are plotted on a
+// character grid with y-axis labels and a shared x-axis.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Plot describes a chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int // plot area width in characters (default 60)
+	Height int // plot area height in characters (default 16)
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			points++
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return p.Title + "\n(no data)\n"
+	}
+	if ymin > 0 && ymin < ymax/3 {
+		ymin = 0 // anchor at zero like the paper's axes when sensible
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plotAt := func(x, y float64, g byte) {
+		col := int((x - xmin) / (xmax - xmin) * float64(w-1))
+		row := h - 1 - int((y-ymin)/(ymax-ymin)*float64(h-1))
+		if col < 0 || col >= w || row < 0 || row >= h {
+			return
+		}
+		if grid[row][col] != ' ' && grid[row][col] != g {
+			grid[row][col] = '?' // overlapping series
+		} else {
+			grid[row][col] = g
+		}
+	}
+	for si, s := range p.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			plotAt(s.X[i], s.Y[i], g)
+			// Connect with linear interpolation for readability.
+			if i > 0 {
+				steps := w / max(1, len(s.X)-1)
+				for t := 1; t < steps; t++ {
+					f := float64(t) / float64(steps)
+					plotAt(s.X[i-1]+f*(s.X[i]-s.X[i-1]),
+						s.Y[i-1]+f*(s.Y[i]-s.Y[i-1]), '.')
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", p.Title)
+	}
+	for r, line := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.6g", ymax)
+		case h - 1:
+			label = fmt.Sprintf("%10.6g", ymin)
+		case (h - 1) / 2:
+			label = fmt.Sprintf("%10.6g", (ymax+ymin)/2)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%s  %-10.6g%s%10.6g\n", strings.Repeat(" ", 10),
+		xmin, strings.Repeat(" ", max(0, w-20)), xmax)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&sb, "%12sx: %s   y: %s\n", "", p.XLabel, p.YLabel)
+	}
+	var legend []string
+	for si, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Label))
+	}
+	fmt.Fprintf(&sb, "%12s%s\n", "", strings.Join(legend, "   "))
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	p := &Plot{
+		Title:  "Figure X",
+		XLabel: "procs",
+		YLabel: "seconds",
+		Series: []Series{
+			{Label: "GP", X: []float64{16, 32, 64}, Y: []float64{1, 1.2, 1.4}},
+			{Label: "NORM", X: []float64{16, 32, 64}, Y: []float64{1, 3, 9}},
+		},
+	}
+	out := p.Render()
+	for _, want := range []string{"Figure X", "* GP", "o NORM", "procs", "seconds", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The rising NORM series must occupy a higher row than GP somewhere:
+	// the top-left area should contain 'o' near the right edge's top.
+	lines := strings.Split(out, "\n")
+	foundTopO := false
+	for _, l := range lines[1:4] {
+		if strings.Contains(l, "o") {
+			foundTopO = true
+		}
+	}
+	if !foundTopO {
+		t.Errorf("NORM series not near the top of the chart:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	out := p.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	p := &Plot{Series: []Series{{Label: "x", X: []float64{5}, Y: []float64{7}}}}
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (ymin == ymax) must not divide by zero.
+	p := &Plot{Series: []Series{{Label: "c", X: []float64{1, 2, 3}, Y: []float64{4, 4, 4}}}}
+	out := p.Render()
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("constant series rendered badly:\n%s", out)
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	p := &Plot{
+		Width: 20, Height: 5,
+		Series: []Series{
+			{Label: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+			{Label: "b", X: []float64{0, 1}, Y: []float64{0, 1}},
+		},
+	}
+	out := p.Render()
+	if !strings.Contains(out, "?") {
+		t.Errorf("overlapping series should show '?':\n%s", out)
+	}
+}

@@ -1,0 +1,35 @@
+// Package workload provides communication-accurate skeletons of the paper's
+// benchmark applications: High Performance Linpack (HPL 1.0a) and the NAS
+// Parallel Benchmarks CG and SP (NPB 2.4), plus a small synthetic workload
+// for tests.
+//
+// A skeleton reproduces the benchmark's communication structure (who talks
+// to whom, how often, with what message sizes), its computation volume
+// (calibrated to the paper's testbed so execution times land in the same
+// range), and its memory footprint (which sets checkpoint image sizes).
+// Numerical content is not computed — none of the paper's measurements
+// depend on it.
+package workload
+
+import "repro/internal/mpi"
+
+// Workload is a per-rank program plus its resource model.
+type Workload interface {
+	// Name identifies the workload and its parameters.
+	Name() string
+	// Procs returns the number of ranks the workload needs.
+	Procs() int
+	// Body runs one rank's program (called once per rank on its own
+	// simulated process).
+	Body(r *mpi.Rank)
+	// ImageBytes returns the checkpoint image size of a rank: its share
+	// of the problem data plus the runtime's fixed overhead.
+	ImageBytes(rank int) int64
+}
+
+// RuntimeOverheadBytes is the fixed per-process image overhead (the MPI
+// runtime, library text/data, and buffers) added on top of each rank's share
+// of problem data. LAM/MPI-era process images carried tens of MB of this,
+// which is why total checkpoint data grows with scale even though per-rank
+// problem data shrinks.
+const RuntimeOverheadBytes = 24 << 20

@@ -1,0 +1,29 @@
+# CI and humans invoke the same targets: `make ci` is exactly what
+# .github/workflows/ci.yml runs.
+
+GO ?= go
+
+.PHONY: build test race bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — a smoke pass proving the experiment
+# suite still regenerates each figure, not a timing run.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	@fmtout=$$(gofmt -l .); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+ci: lint build race bench

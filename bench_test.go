@@ -12,7 +12,9 @@ package repro
 // numbers recorded in EXPERIMENTS.md.
 
 import (
+	"runtime"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/ckpt"
@@ -24,21 +26,27 @@ import (
 	"repro/internal/workload"
 )
 
+// quickOpts runs the reduced-size experiments with runs fanned across all
+// cores (Workers 0 = GOMAXPROCS); results are identical to serial runs.
 func quickOpts() harness.Options { return harness.Options{Quick: true, Reps: 1} }
 
 // lastMean extracts the mean of a "m±s" or plain cell for metric reporting.
-func lastMean(t *stats.Table, row, col int) float64 {
+// It fails the benchmark on out-of-range cells or unparsable numbers rather
+// than silently reporting 0.
+func lastMean(tb testing.TB, t *stats.Table, row, col int) float64 {
+	tb.Helper()
 	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
-		return 0
+		tb.Fatalf("lastMean: cell (%d,%d) out of range in %q (%dx%d)",
+			row, col, t.Title, len(t.Rows), len(t.Columns))
 	}
 	cell := t.Rows[row][col]
-	for i := 0; i < len(cell); i++ {
-		if cell[i] == 0xC2 { // first byte of '±'
-			cell = cell[:i]
-			break
-		}
+	if i := strings.IndexRune(cell, '±'); i >= 0 {
+		cell = cell[:i]
 	}
-	v, _ := strconv.ParseFloat(cell, 64)
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		tb.Fatalf("lastMean: cell (%d,%d) of %q: %v", row, col, t.Title, err)
+	}
 	return v
 }
 
@@ -49,7 +57,7 @@ func BenchmarkFig01CoordinationCost(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(t, len(t.Rows)-1, 1), "agg_coord_s")
+		b.ReportMetric(lastMean(b, t, len(t.Rows)-1, 1), "agg_coord_s")
 	}
 }
 
@@ -60,7 +68,7 @@ func BenchmarkFig02VCLBlocking(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(r.Table, len(r.Table.Rows)-1, 3), "gap_fraction")
+		b.ReportMetric(lastMean(b, r.Table, len(r.Table.Rows)-1, 3), "gap_fraction")
 	}
 }
 
@@ -82,7 +90,7 @@ func BenchmarkFig05ExecutionTime(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(a, len(a.Rows)-1, 1), "GP_exec_s")
+		b.ReportMetric(lastMean(b, a, len(a.Rows)-1, 1), "GP_exec_s")
 	}
 }
 
@@ -93,8 +101,8 @@ func BenchmarkFig06CkptRestartAggregates(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		gp := lastMean(a, len(a.Rows)-1, 1)
-		norm := lastMean(a, len(a.Rows)-1, 4)
+		gp := lastMean(b, a, len(a.Rows)-1, 1)
+		norm := lastMean(b, a, len(a.Rows)-1, 4)
 		b.ReportMetric(gp, "GP_ckpt_s")
 		b.ReportMetric(norm, "NORM_ckpt_s")
 	}
@@ -107,7 +115,7 @@ func BenchmarkFig07ResendData(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(t, len(t.Rows)-1, 2), "GP1_resend_KB")
+		b.ReportMetric(lastMean(b, t, len(t.Rows)-1, 2), "GP1_resend_KB")
 	}
 }
 
@@ -118,7 +126,7 @@ func BenchmarkFig08ResendOps(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(t, len(t.Rows)-1, 2), "GP1_ops")
+		b.ReportMetric(lastMean(b, t, len(t.Rows)-1, 2), "GP1_ops")
 	}
 }
 
@@ -130,7 +138,7 @@ func BenchmarkFig09StageBreakdown(b *testing.B) {
 			b.Fatal(err)
 		}
 		// Last row is NORM at the largest scale; column 3 is Coordination.
-		b.ReportMetric(lastMean(t, len(t.Rows)-1, 3), "NORM_coord_s")
+		b.ReportMetric(lastMean(b, t, len(t.Rows)-1, 3), "NORM_coord_s")
 	}
 }
 
@@ -141,7 +149,7 @@ func BenchmarkFig10PeriodicCheckpoints(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(t, len(t.Rows)-1, 1), "GP_exec_s")
+		b.ReportMetric(lastMean(b, t, len(t.Rows)-1, 1), "GP_exec_s")
 	}
 }
 
@@ -152,7 +160,7 @@ func BenchmarkFig11CGClassC(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(a, len(a.Rows)-1, 1), "GP_ckpt_s")
+		b.ReportMetric(lastMean(b, a, len(a.Rows)-1, 1), "GP_ckpt_s")
 	}
 }
 
@@ -163,7 +171,7 @@ func BenchmarkFig12SPClassC(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(a, len(a.Rows)-1, 1), "GP_ckpt_s")
+		b.ReportMetric(lastMean(b, a, len(a.Rows)-1, 1), "GP_ckpt_s")
 	}
 }
 
@@ -174,7 +182,7 @@ func BenchmarkFig13RemoteStorageScale(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(t, len(t.Rows)-1, 3), "VCL_exec_s")
+		b.ReportMetric(lastMean(b, t, len(t.Rows)-1, 3), "VCL_exec_s")
 	}
 }
 
@@ -185,7 +193,34 @@ func BenchmarkFig14AvgCheckpointTime(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(lastMean(t, len(t.Rows)-1, 2), "VCL_ckpt_s")
+		b.ReportMetric(lastMean(b, t, len(t.Rows)-1, 2), "VCL_ckpt_s")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The parallel experiment engine.
+
+// BenchmarkParallelWorkers runs the HPL suite (the experiment behind
+// Figures 5–9) serially and with runs fanned across every core. The tables
+// are byte-identical at any worker count; only wall-clock time changes, so
+// the ratio of the two sub-benchmarks is the engine's speedup.
+func BenchmarkParallelWorkers(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"allcores", runtime.GOMAXPROCS(0)}} {
+		b.Run(tc.name, func(b *testing.B) {
+			o := quickOpts()
+			o.Workers = tc.workers
+			for i := 0; i < b.N; i++ {
+				harness.ResetCaches()
+				a, _, err := harness.Fig5(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(lastMean(b, a, len(a.Rows)-1, 1), "GP_exec_s")
+			}
+		})
 	}
 }
 

@@ -3,16 +3,22 @@
 //
 // Usage:
 //
-//	gbexp -exp fig1            # one experiment
-//	gbexp -exp all             # everything (paper-scale; takes a few minutes)
-//	gbexp -exp fig5 -quick     # reduced problem sizes
-//	gbexp -exp fig2 -timelines # include ASCII trace diagrams
+//	gbexp -exp fig1             # one experiment
+//	gbexp -exp all              # everything (paper-scale; takes a few minutes)
+//	gbexp -exp all -parallel 8  # fan runs across 8 workers (same output)
+//	gbexp -exp fig5 -quick      # reduced problem sizes
+//	gbexp -exp fig2 -timelines  # include ASCII trace diagrams
+//
+// Simulation runs are independent and deterministically seeded, so -parallel
+// only changes wall-clock time: tables are byte-identical at any worker
+// count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,6 +33,7 @@ func main() {
 		exp       = flag.String("exp", "all", "experiment id: fig1 fig2 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 | all")
 		quick     = flag.Bool("quick", false, "reduced problem sizes and repetitions")
 		reps      = flag.Int("reps", 0, "repetitions per point (0 = paper's 5, or 2 with -quick)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "simulation runs to execute concurrently (1 = serial)")
 		timelines = flag.Bool("timelines", false, "print Figure 2 ASCII trace diagrams")
 		tsv       = flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
 		plot      = flag.Bool("plot", false, "also render each table as an ASCII chart")
@@ -34,7 +41,7 @@ func main() {
 	flag.Parse()
 	plotTables = *plot
 
-	o := harness.Options{Quick: *quick, Reps: *reps}
+	o := harness.Options{Quick: *quick, Reps: *reps, Workers: *parallel}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"fig1", "fig2", "table1", "fig5", "fig6", "fig7", "fig8",

@@ -20,6 +20,12 @@
 //	internal/workload  HPL and NPB CG/SP communication-accurate skeletons
 //	internal/failure   failure injection and group-vs-global recovery
 //	internal/harness   the paper's experiments (Figures 1–14, Table 1)
+//	internal/runner    parallel experiment engine: worker pool + memoization
+//
+// Experiments hand their run matrix (scales × modes × repetitions) to
+// internal/runner, which fans the independent, deterministically seeded
+// simulations across GOMAXPROCS workers and collects results in stable
+// order — `gbexp -parallel N` output is byte-identical to serial runs.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation (reduced problem sizes by default; `go run ./cmd/gbexp

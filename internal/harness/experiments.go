@@ -2,10 +2,9 @@ package harness
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/ckpt"
-	"repro/internal/group"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -19,6 +18,12 @@ type Options struct {
 	Reps   int  // repetitions per point (default 5, the paper's count)
 	Quick  bool // reduced problem sizes / scales
 	Scales []int
+
+	// Workers bounds how many simulation runs execute concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Every run is seeded from its matrix
+	// key, so the worker count never changes any result: parallel and
+	// serial execution produce byte-identical tables.
+	Workers int
 }
 
 func (o Options) reps() int {
@@ -31,6 +36,13 @@ func (o Options) reps() int {
 	return 5
 }
 
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runner.DefaultWorkers()
+}
+
 func (o Options) scales(full, quick []int) []int {
 	if len(o.Scales) > 0 {
 		return o.Scales
@@ -41,6 +53,9 @@ func (o Options) scales(full, quick []int) []int {
 	return full
 }
 
+// key identifies the result set an option combination produces. Workers is
+// deliberately excluded: the parallel and serial engines compute identical
+// results, so they share cached suites.
 func (o Options) key() string { return fmt.Sprintf("q%v/r%d/s%v", o.Quick, o.reps(), o.Scales) }
 
 // hplConfig returns the HPL problem size and single-checkpoint time for the
@@ -55,6 +70,48 @@ func (o Options) hplConfig() (n int, ckptAt sim.Time) {
 func seconds(t sim.Time) float64 { return t.Seconds() }
 
 // ---------------------------------------------------------------------------
+// Run matrices.
+//
+// Each experiment describes its sweep as a flat slice of runKey values — the
+// cross product of scales × modes × repetitions in row-major order — and
+// hands it to runner.Map, which fans the runs across workers and returns
+// results in matrix order. Rows are then assembled by walking the scales
+// slice, so tables come out in the same order the old nested loops produced.
+
+// runKey is one cell of an experiment's run matrix.
+type runKey struct {
+	Scale int
+	Mode  Mode
+	Rep   int
+}
+
+// matrix builds scales × modes × reps in row-major order.
+func matrix(scales []int, modes []Mode, reps int) []runKey {
+	keys := make([]runKey, 0, len(scales)*len(modes)*reps)
+	for _, n := range scales {
+		for _, m := range modes {
+			for r := 0; r < reps; r++ {
+				keys = append(keys, runKey{Scale: n, Mode: m, Rep: r})
+			}
+		}
+	}
+	return keys
+}
+
+// groupByScale reassembles flat matrix results into per-scale, per-mode
+// repetition slices.
+func groupByScale[T any](keys []runKey, vals []T) map[int]map[Mode][]T {
+	out := map[int]map[Mode][]T{}
+	for i, k := range keys {
+		if out[k.Scale] == nil {
+			out[k.Scale] = map[Mode][]T{}
+		}
+		out[k.Scale][k.Mode] = append(out[k.Scale][k.Mode], vals[i])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
 // Figure 1 — checkpoint coordination time in HPL with LAM/MPI (NORM).
 
 // Fig1 measures the summed time all processes spend coordinating one global
@@ -65,23 +122,28 @@ func seconds(t sim.Time) float64 { return t.Seconds() }
 func Fig1(o Options) (*stats.Table, error) {
 	nProb, ckptAt := o.hplConfig()
 	scales := o.scales([]int{16, 24, 32, 40, 48, 56, 64}, []int{16, 24})
+	keys := matrix(scales, []Mode{NORM}, o.reps())
+	coord, err := runner.Map(o.workers(), keys, func(k runKey) (float64, error) {
+		res, err := Run(Spec{
+			WL: workload.NewHPL(nProb, k.Scale), Mode: k.Mode,
+			Seed:  int64(1000*k.Scale + k.Rep),
+			Sched: Schedule{At: ckptAt},
+		})
+		if err != nil {
+			return 0, err
+		}
+		return seconds(AggregateCoordination(res.Records)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	byScale := groupByScale(keys, coord)
 	t := &stats.Table{
 		Title:   "Figure 1: aggregate coordination time of one global checkpoint (HPL, NORM)",
 		Columns: []string{"procs", "coord_total_s", "min_s", "max_s"},
 	}
 	for _, n := range scales {
-		var xs []float64
-		for rep := 0; rep < o.reps(); rep++ {
-			res, err := Run(Spec{
-				WL: workload.NewHPL(nProb, n), Mode: NORM,
-				Seed:  int64(1000*n + rep),
-				Sched: Schedule{At: ckptAt},
-			})
-			if err != nil {
-				return nil, err
-			}
-			xs = append(xs, seconds(AggregateCoordination(res.Records)))
-		}
+		xs := byScale[n][NORM]
 		min, max := stats.MinMax(xs)
 		t.AddRow(n, stats.Summarize(xs), min, max)
 	}
@@ -98,6 +160,15 @@ type Fig2Result struct {
 	Timelines map[int]string // procs → ASCII trace diagram (ranks P0–P3)
 }
 
+// fig2Point is one scale's measurement.
+type fig2Point struct {
+	epochs   int
+	window   float64 // mean checkpoint window, seconds
+	gap      float64
+	share    float64
+	timeline string
+}
+
 // Fig2 runs CG class C under VCL with checkpoints every 30 s and remote
 // checkpoint servers, then measures the fraction of each checkpoint window
 // in which no application message was delivered ("gaps"). The paper's
@@ -105,14 +176,7 @@ type Fig2Result struct {
 // spanning nearly the whole checkpoint at 128.
 func Fig2(o Options) (*Fig2Result, error) {
 	scales := o.scales([]int{32, 128}, []int{16, 64})
-	out := &Fig2Result{
-		Table: &stats.Table{
-			Title:   "Figure 2: CG under VCL, checkpoints every 30s — gap fraction of checkpoint windows",
-			Columns: []string{"procs", "ckpts", "ckpt_window_s", "gap_fraction", "ckpt_share_of_exec"},
-		},
-		Timelines: map[int]string{},
-	}
-	for _, n := range scales {
+	points, err := runner.Map(o.workers(), scales, func(n int) (fig2Point, error) {
 		wl := workload.CGClassC(n)
 		// Fine message granularity for the trace diagram; batching two
 		// inner iterations per superstep keeps the event count tractable
@@ -136,7 +200,7 @@ func Fig2(o Options) (*Fig2Result, error) {
 			Trace:         true,
 		})
 		if err != nil {
-			return nil, err
+			return fig2Point{}, err
 		}
 		var windows []trace.Window
 		var winTotal sim.Time
@@ -152,10 +216,12 @@ func Fig2(o Options) (*Fig2Result, error) {
 		if o.Quick {
 			bucket = 250 * sim.Millisecond
 		}
-		gap := trace.GapFraction(res.Trace, all, windows, bucket)
-		share := float64(winTotal) / float64(res.ExecTime)
-		out.Table.AddRow(n, res.Epochs, seconds(winTotal)/float64(max(res.Epochs, 1)), gap, share)
-
+		p := fig2Point{
+			epochs: res.Epochs,
+			window: seconds(winTotal) / float64(max(res.Epochs, 1)),
+			gap:    trace.GapFraction(res.Trace, all, windows, bucket),
+			share:  float64(winTotal) / float64(res.ExecTime),
+		}
 		// Render ranks P0–P3 around the first checkpoint window, as in
 		// the paper's trace diagrams.
 		if len(windows) > 0 {
@@ -165,8 +231,26 @@ func Fig2(o Options) (*Fig2Result, error) {
 			if from < 0 {
 				from = 0
 			}
-			out.Timelines[n] = trace.Timeline(res.Trace, []int{0, 1, 2, 3},
+			p.timeline = trace.Timeline(res.Trace, []int{0, 1, 2, 3},
 				from, from+span, 100, windows)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{
+		Table: &stats.Table{
+			Title:   "Figure 2: CG under VCL, checkpoints every 30s — gap fraction of checkpoint windows",
+			Columns: []string{"procs", "ckpts", "ckpt_window_s", "gap_fraction", "ckpt_share_of_exec"},
+		},
+		Timelines: map[int]string{},
+	}
+	for i, n := range scales {
+		p := points[i]
+		out.Table.AddRow(n, p.epochs, p.window, p.gap, p.share)
+		if p.timeline != "" {
+			out.Timelines[n] = p.timeline
 		}
 	}
 	out.Table.AddNote("paper: small gaps at 32 procs; gaps span nearly the whole checkpoint at 128, >50%% of execution checkpointing")
@@ -219,54 +303,46 @@ type hplSuiteResult struct {
 	runs map[int]map[Mode][]hplRun
 }
 
-var (
-	hplSuiteMu    sync.Mutex
-	hplSuiteCache = map[string]*hplSuiteResult{}
-)
+var hplSuiteCache runner.Memo[*hplSuiteResult]
 
 func hplSuite(o Options) (*hplSuiteResult, error) {
-	hplSuiteMu.Lock()
-	defer hplSuiteMu.Unlock()
-	if s, ok := hplSuiteCache[o.key()]; ok {
-		return s, nil
-	}
-	nProb, ckptAt := o.hplConfig()
-	suite := &hplSuiteResult{
-		scales: o.scales([]int{16, 32, 48, 64, 80, 96, 112, 128}, []int{16, 32}),
-		modes:  []Mode{GP, GP1, GP4, NORM},
-		runs:   map[int]map[Mode][]hplRun{},
-	}
-	for _, n := range suite.scales {
-		suite.runs[n] = map[Mode][]hplRun{}
-		for _, mode := range suite.modes {
-			for rep := 0; rep < o.reps(); rep++ {
-				wl := workload.NewHPL(nProb, n)
-				res, err := Run(Spec{
-					WL: wl, Mode: mode,
-					Seed:     int64(100000 + 100*n + rep),
-					Sched:    Schedule{At: ckptAt},
-					GroupMax: wl.P, // the paper's HPL grouping uses G=P
-				})
-				if err != nil {
-					return nil, err
-				}
-				rst, err := Restart(res, int64(7000+rep))
-				if err != nil {
-					return nil, err
-				}
-				suite.runs[n][mode] = append(suite.runs[n][mode], hplRun{
-					res: res,
-					restart: restartOutcome{
-						aggRestart:  rst.AggregateRestartTime(),
-						resendBytes: rst.ResendBytes,
-						resendOps:   rst.ResendOps,
-					},
-				})
-			}
+	return hplSuiteCache.Get(o.key(), func() (*hplSuiteResult, error) {
+		nProb, ckptAt := o.hplConfig()
+		suite := &hplSuiteResult{
+			scales: o.scales([]int{16, 32, 48, 64, 80, 96, 112, 128}, []int{16, 32}),
+			modes:  []Mode{GP, GP1, GP4, NORM},
 		}
-	}
-	hplSuiteCache[o.key()] = suite
-	return suite, nil
+		keys := matrix(suite.scales, suite.modes, o.reps())
+		runs, err := runner.Map(o.workers(), keys, func(k runKey) (hplRun, error) {
+			wl := workload.NewHPL(nProb, k.Scale)
+			res, err := Run(Spec{
+				WL: wl, Mode: k.Mode,
+				Seed:     int64(100000 + 100*k.Scale + k.Rep),
+				Sched:    Schedule{At: ckptAt},
+				GroupMax: wl.P, // the paper's HPL grouping uses G=P
+			})
+			if err != nil {
+				return hplRun{}, err
+			}
+			rst, err := Restart(res, int64(7000+k.Rep))
+			if err != nil {
+				return hplRun{}, err
+			}
+			return hplRun{
+				res: res,
+				restart: restartOutcome{
+					aggRestart:  rst.AggregateRestartTime(),
+					resendBytes: rst.ResendBytes,
+					resendOps:   rst.ResendOps,
+				},
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		suite.runs = groupByScale(keys, runs)
+		return suite, nil
+	})
 }
 
 func (s *hplSuiteResult) metricTable(title, unit string, f func(hplRun) float64) *stats.Table {
@@ -424,6 +500,19 @@ func Fig9(o Options) (*stats.Table, error) {
 // ---------------------------------------------------------------------------
 // Figure 10 — periodic checkpoints on HPL N=56000, 128 processes.
 
+// fig10Key is one cell of Figure 10's interval × mode × rep matrix.
+type fig10Key struct {
+	Interval sim.Time
+	Mode     Mode
+	Rep      int
+}
+
+// fig10Point is one run's measurement.
+type fig10Point struct {
+	exec  float64
+	ckpts float64
+}
+
 // Fig10 sweeps the checkpoint interval (0 = no checkpoints) for GP vs NORM
 // and reports execution time and completed checkpoint count.
 func Fig10(o Options) (*stats.Table, error) {
@@ -433,28 +522,47 @@ func Fig10(o Options) (*stats.Table, error) {
 		nProb, n = 5760, 16
 		intervals = []sim.Time{0, 5 * sim.Second, 10 * sim.Second}
 	}
+	modes := []Mode{GP, NORM}
+	var keys []fig10Key
+	for _, iv := range intervals {
+		for _, mode := range modes {
+			for rep := 0; rep < o.reps(); rep++ {
+				keys = append(keys, fig10Key{Interval: iv, Mode: mode, Rep: rep})
+			}
+		}
+	}
+	points, err := runner.Map(o.workers(), keys, func(k fig10Key) (fig10Point, error) {
+		wl := workload.NewHPL(nProb, n)
+		res, err := Run(Spec{
+			WL: wl, Mode: k.Mode,
+			Seed:     int64(500000 + int(k.Interval/sim.Second)*10 + k.Rep),
+			Sched:    Schedule{Interval: k.Interval},
+			GroupMax: wl.P,
+		})
+		if err != nil {
+			return fig10Point{}, err
+		}
+		return fig10Point{exec: seconds(res.ExecTime), ckpts: float64(res.Epochs)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	byCell := map[fig10Key][]fig10Point{}
+	for i, k := range keys {
+		cell := fig10Key{Interval: k.Interval, Mode: k.Mode}
+		byCell[cell] = append(byCell[cell], points[i])
+	}
 	t := &stats.Table{
 		Title:   "Figure 10: effect of periodic checkpoints (HPL N=" + fmt.Sprint(nProb) + ", " + fmt.Sprint(n) + " procs)",
 		Columns: []string{"interval_s", "GP_exec_s", "GP_ckpts", "NORM_exec_s", "NORM_ckpts"},
 	}
 	for _, iv := range intervals {
 		row := []any{seconds(iv)}
-		for _, mode := range []Mode{GP, NORM} {
-			var execs []float64
-			var cks []float64
-			for rep := 0; rep < o.reps(); rep++ {
-				wl := workload.NewHPL(nProb, n)
-				res, err := Run(Spec{
-					WL: wl, Mode: mode,
-					Seed:     int64(500000 + int(iv/sim.Second)*10 + rep),
-					Sched:    Schedule{Interval: iv},
-					GroupMax: wl.P,
-				})
-				if err != nil {
-					return nil, err
-				}
-				execs = append(execs, seconds(res.ExecTime))
-				cks = append(cks, float64(res.Epochs))
+		for _, mode := range modes {
+			var execs, cks []float64
+			for _, p := range byCell[fig10Key{Interval: iv, Mode: mode}] {
+				execs = append(execs, p.exec)
+				cks = append(cks, p.ckpts)
 			}
 			row = append(row, stats.Summarize(execs), stats.Mean(cks))
 		}
@@ -467,8 +575,36 @@ func Fig10(o Options) (*stats.Table, error) {
 // ---------------------------------------------------------------------------
 // Figures 11 and 12 — NPB CG and SP summed checkpoint/restart times.
 
+// npbPoint is one run's pair of headline metrics.
+type npbPoint struct {
+	ck, rst float64
+}
+
 func npbSuiteTable(o Options, name string, scales []int, modes []Mode,
 	mk func(n int) workload.Workload, ckptAt sim.Time) (*stats.Table, *stats.Table, error) {
+	keys := matrix(scales, modes, o.reps())
+	points, err := runner.Map(o.workers(), keys, func(k runKey) (npbPoint, error) {
+		res, err := Run(Spec{
+			WL: mk(k.Scale), Mode: k.Mode,
+			Seed:  int64(900000 + 100*k.Scale + k.Rep),
+			Sched: Schedule{At: ckptAt},
+		})
+		if err != nil {
+			return npbPoint{}, err
+		}
+		rst, err := Restart(res, int64(800+k.Rep))
+		if err != nil {
+			return npbPoint{}, err
+		}
+		return npbPoint{
+			ck:  seconds(ckpt.AggregateCheckpointTime(res.Records)),
+			rst: seconds(rst.AggregateRestartTime()),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	byScale := groupByScale(keys, points)
 	a := &stats.Table{
 		Title:   name + ": summed checkpoint time",
 		Columns: append([]string{"procs"}, modeCols(modes, "ckpt_s")...),
@@ -482,21 +618,9 @@ func npbSuiteTable(o Options, name string, scales []int, modes []Mode,
 		rowB := []any{n}
 		for _, mode := range modes {
 			var cks, rsts []float64
-			for rep := 0; rep < o.reps(); rep++ {
-				res, err := Run(Spec{
-					WL: mk(n), Mode: mode,
-					Seed:  int64(900000 + 100*n + rep),
-					Sched: Schedule{At: ckptAt},
-				})
-				if err != nil {
-					return nil, nil, err
-				}
-				rst, err := Restart(res, int64(800+rep))
-				if err != nil {
-					return nil, nil, err
-				}
-				cks = append(cks, seconds(ckpt.AggregateCheckpointTime(res.Records)))
-				rsts = append(rsts, seconds(rst.AggregateRestartTime()))
+			for _, p := range byScale[n][mode] {
+				cks = append(cks, p.ck)
+				rsts = append(rsts, p.rst)
 			}
 			rowA = append(rowA, stats.Summarize(cks))
 			rowB = append(rowB, stats.Summarize(rsts))
@@ -566,50 +690,51 @@ type vclSuiteResult struct {
 	gp  map[int][]*Result
 }
 
-var (
-	vclSuiteMu    sync.Mutex
-	vclSuiteCache = map[string]*vclSuiteResult{}
-)
+var vclSuiteCache runner.Memo[*vclSuiteResult]
+
+// vclPair is one (scale, rep) cell: the VCL run and the GP run forced to
+// match its checkpoint count.
+type vclPair struct {
+	vcl *Result
+	gp  *Result
+}
 
 // cgRemoteSuite runs CG class C with images on 4 remote checkpoint servers:
 // VCL checkpoints every 120 s; GP is then forced to take the same number of
-// checkpoints using a matched interval (the paper's fairness rule).
+// checkpoints using a matched interval (the paper's fairness rule). The two
+// runs of a cell are dependent (GP's schedule derives from VCL's outcome),
+// so each cell runs them back to back; cells fan out across workers.
 func cgRemoteSuite(o Options) (*vclSuiteResult, error) {
-	vclSuiteMu.Lock()
-	defer vclSuiteMu.Unlock()
-	if s, ok := vclSuiteCache[o.key()]; ok {
-		return s, nil
-	}
-	suite := &vclSuiteResult{
-		scales: o.scales([]int{16, 32, 64, 128}, []int{16, 32}),
-		vcl:    map[int][]*Result{},
-		gp:     map[int][]*Result{},
-	}
-	interval := 120 * sim.Second
-	mk := func(n int) workload.Workload {
-		wl := workload.CGClassC(n)
-		if o.Quick {
-			wl.NA, wl.NIter = 30000, 30
+	return vclSuiteCache.Get(o.key(), func() (*vclSuiteResult, error) {
+		suite := &vclSuiteResult{
+			scales: o.scales([]int{16, 32, 64, 128}, []int{16, 32}),
+			vcl:    map[int][]*Result{},
+			gp:     map[int][]*Result{},
 		}
-		return wl
-	}
-	if o.Quick {
-		// Long enough that quick-sized VCL epochs do not overrun.
-		interval = 25 * sim.Second
-	}
-	for _, n := range suite.scales {
-		for rep := 0; rep < o.reps(); rep++ {
-			seed := int64(700000 + 100*n + rep)
+		interval := 120 * sim.Second
+		mk := func(n int) workload.Workload {
+			wl := workload.CGClassC(n)
+			if o.Quick {
+				wl.NA, wl.NIter = 30000, 30
+			}
+			return wl
+		}
+		if o.Quick {
+			// Long enough that quick-sized VCL epochs do not overrun.
+			interval = 25 * sim.Second
+		}
+		keys := matrix(suite.scales, []Mode{VCL}, o.reps())
+		pairs, err := runner.Map(o.workers(), keys, func(k runKey) (vclPair, error) {
+			n := k.Scale
+			seed := int64(700000 + 100*n + k.Rep)
 			vres, err := Run(Spec{
 				WL: mk(n), Mode: VCL, Seed: seed,
 				Sched:         Schedule{Interval: interval},
 				RemoteServers: 4,
 			})
 			if err != nil {
-				return nil, err
+				return vclPair{}, err
 			}
-			suite.vcl[n] = append(suite.vcl[n], vres)
-
 			// Force GP to take the same number of checkpoints with a
 			// matched interval.
 			count := vres.Epochs
@@ -627,13 +752,19 @@ func cgRemoteSuite(o Options) (*vclSuiteResult, error) {
 				RemoteAsync:   true,
 			})
 			if err != nil {
-				return nil, err
+				return vclPair{}, err
 			}
-			suite.gp[n] = append(suite.gp[n], gres)
+			return vclPair{vcl: vres, gp: gres}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-	}
-	vclSuiteCache[o.key()] = suite
-	return suite, nil
+		for i, k := range keys {
+			suite.vcl[k.Scale] = append(suite.vcl[k.Scale], pairs[i].vcl)
+			suite.gp[k.Scale] = append(suite.gp[k.Scale], pairs[i].gp)
+		}
+		return suite, nil
+	})
 }
 
 // Fig13 reports execution time and checkpoint counts for GP vs VCL with
@@ -709,13 +840,7 @@ func max(a, b int) int {
 // ResetCaches clears the memoized tracing formations and experiment suites.
 // The benchmarks call it so every iteration measures real work.
 func ResetCaches() {
-	formationMu.Lock()
-	formationCache = map[string]group.Formation{}
-	formationMu.Unlock()
-	hplSuiteMu.Lock()
-	hplSuiteCache = map[string]*hplSuiteResult{}
-	hplSuiteMu.Unlock()
-	vclSuiteMu.Lock()
-	vclSuiteCache = map[string]*vclSuiteResult{}
-	vclSuiteMu.Unlock()
+	formationCache.Reset()
+	hplSuiteCache.Reset()
+	vclSuiteCache.Reset()
 }

@@ -6,7 +6,6 @@ package harness
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/ckpt"
 	"repro/internal/cluster"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/mlog"
 	"repro/internal/mpi"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -224,14 +224,12 @@ func formationFor(spec Spec) (group.Formation, error) {
 	}
 }
 
-var (
-	formationMu    sync.Mutex
-	formationCache = map[string]group.Formation{}
-)
+var formationCache runner.Memo[group.Formation]
 
 // tracedFormation runs the workload once with the tracer (no checkpoints)
 // and feeds the trace to Algorithm 2. Results are cached per workload
-// configuration.
+// configuration; concurrent runs that need the same formation share one
+// tracing pass, while distinct configurations trace in parallel.
 func tracedFormation(spec Spec) (group.Formation, error) {
 	n := spec.WL.Procs()
 	max := spec.GroupMax
@@ -239,29 +237,25 @@ func tracedFormation(spec Spec) (group.Formation, error) {
 		max = group.DefaultMaxSize(n)
 	}
 	key := fmt.Sprintf("%s/n%d/G%d", spec.WL.Name(), n, max)
-	formationMu.Lock()
-	defer formationMu.Unlock()
-	if f, ok := formationCache[key]; ok {
+	return formationCache.Get(key, func() (group.Formation, error) {
+		k := sim.NewKernel(977)
+		cfg := zeroIsGideon(spec.Cluster)
+		cfg.JitterFrac = 0
+		cfg.DaemonEvery = 0
+		c := cluster.New(k, n, cfg)
+		w := mpi.NewWorld(k, c, n)
+		rec := &trace.Recorder{}
+		w.Tracer = rec
+		w.Launch(spec.WL.Body)
+		if err := k.Run(); err != nil {
+			return group.Formation{}, fmt.Errorf("harness: tracing pass for %s: %w", key, err)
+		}
+		f := group.FromTrace(rec.Records, n, max)
+		if err := f.Validate(); err != nil {
+			return group.Formation{}, fmt.Errorf("harness: formation for %s: %w", key, err)
+		}
 		return f, nil
-	}
-	k := sim.NewKernel(977)
-	cfg := zeroIsGideon(spec.Cluster)
-	cfg.JitterFrac = 0
-	cfg.DaemonEvery = 0
-	c := cluster.New(k, n, cfg)
-	w := mpi.NewWorld(k, c, n)
-	rec := &trace.Recorder{}
-	w.Tracer = rec
-	w.Launch(spec.WL.Body)
-	if err := k.Run(); err != nil {
-		return group.Formation{}, fmt.Errorf("harness: tracing pass for %s: %w", key, err)
-	}
-	f := group.FromTrace(rec.Records, n, max)
-	if err := f.Validate(); err != nil {
-		return group.Formation{}, fmt.Errorf("harness: formation for %s: %w", key, err)
-	}
-	formationCache[key] = f
-	return f, nil
+	})
 }
 
 // AggregateCoordination sums per-rank checkpoint durations excluding the

@@ -50,12 +50,12 @@ func TestFormationCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := len(formationCache)
+	before := formationCache.Len()
 	f2, err := formationFor(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(formationCache) != before {
+	if formationCache.Len() != before {
 		t.Error("cache grew on identical spec")
 	}
 	if f1.String() != f2.String() {

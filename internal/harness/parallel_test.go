@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestParallelMatchesSerial is the engine's core guarantee: fanning an
+// experiment's run matrix across workers produces byte-identical tables to
+// running it serially, because every run is seeded from its matrix key.
+func TestParallelMatchesSerial(t *testing.T) {
+	base := Options{Quick: true, Reps: 2, Scales: []int{16}}
+
+	render := func(o Options) []string {
+		ResetCaches()
+		var out []string
+		f1, err := Fig1(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, f1.String())
+		a, b, err := Fig6(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, a.String(), b.String())
+		f13, err := Fig13(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, f13.String())
+		return out
+	}
+
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 4
+
+	want := render(serial)
+	got := render(parallel)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("table %d differs between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				i, want[i], got[i])
+		}
+	}
+}
+
+// TestConcurrentFormationCache hammers the formation cache from many
+// goroutines: same-key callers must share one tracing pass, different keys
+// must not corrupt each other. Run under -race in CI.
+func TestConcurrentFormationCache(t *testing.T) {
+	ResetCaches()
+	specs := []Spec{
+		{WL: workload.NewSynthetic(8, 40), Mode: GP, Seed: 1},
+		{WL: workload.NewSynthetic(8, 40), Mode: GP, Seed: 2},  // same key as above
+		{WL: workload.NewSynthetic(16, 40), Mode: GP, Seed: 1}, // distinct key
+	}
+	const perSpec = 8
+	got := make([]string, len(specs)*perSpec)
+	var wg sync.WaitGroup
+	for i := 0; i < len(got); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := formationFor(specs[i%len(specs)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = f.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if got[i] != got[i%len(specs)] {
+			t.Errorf("goroutine %d saw formation %q, want %q", i, got[i], got[i%len(specs)])
+		}
+	}
+	if n := formationCache.Len(); n != 2 {
+		t.Errorf("formation cache has %d entries, want 2 (one per distinct key)", n)
+	}
+}
+
+// TestConcurrentRuns runs full GP simulations concurrently — the workload
+// the parallel engine puts on Run — and checks determinism of the results.
+func TestConcurrentRuns(t *testing.T) {
+	ResetCaches()
+	spec := Spec{
+		WL: workload.NewSynthetic(8, 40), Mode: GP, Seed: 42,
+		Sched: Schedule{At: 1e9},
+	}
+	const n = 6
+	times := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			times[i] = res.ExecTime.Seconds()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if times[i] != times[0] {
+			t.Errorf("run %d finished at %v, run 0 at %v — identical specs must be deterministic",
+				i, times[i], times[0])
+		}
+	}
+}

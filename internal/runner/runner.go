@@ -1,0 +1,147 @@
+// Package runner is the harness's parallel experiment execution engine: a
+// worker-pool scheduler that fans independent simulation runs across
+// GOMAXPROCS goroutines and collects their results in stable input order.
+//
+// Every run in this repository is a deterministic discrete-event simulation
+// seeded from its matrix key (scale, mode, repetition), so runs share no
+// state and their results do not depend on scheduling. The runner exploits
+// that: experiments hand it their run matrix as a flat slice of keys, and
+// Map guarantees results[i] corresponds to keys[i] no matter which worker
+// executed it or in what order workers finished. Parallel output is
+// therefore byte-identical to serial output.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes workers <= 0:
+// the process's GOMAXPROCS, i.e. every core the runtime will schedule on.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map applies fn to every key on up to workers goroutines and returns the
+// results in input order: results[i] is fn(keys[i]). workers <= 0 means
+// DefaultWorkers(); the pool never exceeds len(keys).
+//
+// fn must be safe to call concurrently from multiple goroutines. If any call
+// fails, Map stops handing out new keys, waits for in-flight calls, and
+// returns the error of the lowest-indexed failed key (deterministic even
+// when several keys fail in the same batch) along with a nil slice.
+func Map[K, T any](workers int, keys []K, fn func(K) (T, error)) ([]T, error) {
+	n := len(keys)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, errors abort immediately.
+		results := make([]T, n)
+		for i, k := range keys {
+			v, err := fn(k)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	results := make([]T, n)
+	var (
+		next    atomic.Int64 // next key index to claim
+		failed  atomic.Bool  // stops new claims after the first error
+		errMu   sync.Mutex
+		errIdx  = n // lowest failed index seen so far
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Check for failure before claiming: indexes are
+				// claimed in order and a claimed index always runs,
+				// so every key below a failed key executes and the
+				// lowest-indexed error is always observed.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(keys[i])
+				if err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					errMu.Unlock()
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return results, nil
+}
+
+// Memo is a concurrency-safe memoization table keyed by string, used for the
+// harness's expensive shared artifacts (tracing passes, experiment suites).
+// Concurrent callers of Get with the same key block until the single build
+// completes and then share its result; callers with different keys build
+// concurrently. Results — including errors — stay cached until Reset.
+type Memo[T any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// Get returns the cached value for key, building it with build on first use.
+func (c *Memo[T]) Get(key string, build func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]*memoEntry[T]{}
+	}
+	e := c.m[key]
+	if e == nil {
+		e = &memoEntry[T]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// Len reports how many keys have an entry (built or in flight).
+func (c *Memo[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every cached entry. Builds already in flight complete against
+// the old generation and are not visible to later Gets.
+func (c *Memo[T]) Reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}

@@ -2,8 +2,9 @@
 # .github/workflows/ci.yml runs.
 
 GO ?= go
+SHORT_SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)
 
-.PHONY: build test race bench lint ci
+.PHONY: build test race bench bench-json smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -19,11 +20,41 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Benchmark timings archived as JSON, one file per commit: every benchmark
+# at one iteration (end-to-end wall times, figure regenerations included)
+# except the sim kernel hot-path benchmarks, which run at a statistically
+# meaningful benchtime instead. CI uploads the file as a workflow artifact
+# on every push, recording the performance trajectory.
+bench-json:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) test -bench=. -benchtime=1x -run='^$$' \
+		$$($(GO) list ./... | grep -v '/internal/sim$$') > $$tmp/full.txt; \
+	$(GO) test -bench=. -benchtime=0.5s -run='^$$' ./internal/sim > $$tmp/sim.txt; \
+	cat $$tmp/full.txt $$tmp/sim.txt \
+		| $(GO) run ./cmd/benchjson -commit $(SHORT_SHA) > BENCH_$(SHORT_SHA).json; \
+	echo wrote BENCH_$(SHORT_SHA).json
+
+# End-to-end CLI smoke: one figure reproduction, then the shipped example
+# scenario diffed against its golden table. The scenario engine guarantees
+# byte-identical output at any worker count, so the diff is exact.
+smoke:
+	$(GO) run ./cmd/gbexp -exp fig5 -quick -parallel 2 > /dev/null
+	$(GO) run ./cmd/gbexp -scenario examples/scenarios/modern-weibull.json \
+		| diff -u examples/scenarios/modern-weibull.golden -
+	@echo smoke ok
+
+# staticcheck runs only where the tool is installed (CI installs it; a bare
+# local toolchain must still be able to lint).
 lint:
 	@fmtout=$$(gofmt -l .); \
 	if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
-ci: lint build race bench
+ci: lint build race bench smoke

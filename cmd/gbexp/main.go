@@ -1,5 +1,5 @@
 // gbexp reproduces the paper's tables and figures by id and prints the rows
-// or series each one reports.
+// or series each one reports, or runs a declarative scenario spec.
 //
 // Usage:
 //
@@ -8,6 +8,8 @@
 //	gbexp -exp all -parallel 8  # fan runs across 8 workers (same output)
 //	gbexp -exp fig5 -quick      # reduced problem sizes
 //	gbexp -exp fig2 -timelines  # include ASCII trace diagrams
+//	gbexp -scenario spec.json   # run a declarative scenario file
+//	gbexp -scenario modern      # run a built-in scenario profile
 //
 // Simulation runs are independent and deterministically seeded, so -parallel
 // only changes wall-clock time: tables are byte-identical at any worker
@@ -24,13 +26,18 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/viz"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id: fig1 fig2 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 | all")
+		exp = flag.String("exp", "all",
+			"experiment id: "+strings.Join(harness.IDs(), " ")+" | all")
+		scn = flag.String("scenario", "",
+			"run a declarative scenario instead of -exp: a JSON spec file or a built-in profile ("+
+				strings.Join(scenario.BuiltInNames(), ", ")+")")
 		quick     = flag.Bool("quick", false, "reduced problem sizes and repetitions")
 		reps      = flag.Int("reps", 0, "repetitions per point (0 = paper's 5, or 2 with -quick)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "simulation runs to execute concurrently (1 = serial)")
@@ -41,11 +48,33 @@ func main() {
 	flag.Parse()
 	plotTables = *plot
 
+	if *scn != "" {
+		// A scenario spec carries its own scales, sizes, and reps; the
+		// figure-oriented flags would be silently ignored, so reject them
+		// loudly instead.
+		var clash []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "exp", "quick", "reps", "timelines":
+				clash = append(clash, "-"+f.Name)
+			}
+		})
+		if len(clash) > 0 {
+			fmt.Fprintf(os.Stderr, "gbexp: %s cannot be combined with -scenario (the spec sets its own sizes and reps)\n",
+				strings.Join(clash, " "))
+			os.Exit(2)
+		}
+		if err := runScenario(*scn, *parallel, *tsv); err != nil {
+			fmt.Fprintf(os.Stderr, "gbexp: scenario %s: %v\n", *scn, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	o := harness.Options{Quick: *quick, Reps: *reps, Workers: *parallel}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig1", "fig2", "table1", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+		ids = harness.IDs()
 	}
 	for _, id := range ids {
 		if err := runOne(strings.TrimSpace(id), o, *timelines, *tsv); err != nil {
@@ -53,6 +82,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runScenario resolves arg as a built-in profile name first, then as a spec
+// file path, and runs the sweep.
+func runScenario(arg string, workers int, tsv bool) error {
+	s, ok := scenario.BuiltIn(arg)
+	if !ok {
+		var err error
+		s, err = scenario.Load(arg)
+		if err != nil {
+			return err
+		}
+	}
+	t, err := s.Run(workers)
+	if err != nil {
+		return err
+	}
+	emit(tsv, t)
+	return nil
 }
 
 var plotTables bool
@@ -125,97 +173,32 @@ func tableToPlot(t *stats.Table) *viz.Plot {
 }
 
 func runOne(id string, o harness.Options, timelines, tsv bool) error {
-	switch id {
-	case "fig1":
-		t, err := harness.Fig1(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, t)
-	case "fig2":
+	// fig2 with -timelines needs the trace diagrams the registry's uniform
+	// table interface does not carry.
+	if id == "fig2" && timelines {
 		r, err := harness.Fig2(o)
 		if err != nil {
 			return err
 		}
 		emit(tsv, r.Table)
-		if timelines {
-			var keys []int
-			for k := range r.Timelines {
-				keys = append(keys, k)
-			}
-			sort.Ints(keys)
-			for _, n := range keys {
-				fmt.Printf("--- %d processes (P0-P3, '#'=progress in ckpt, '_'=gap) ---\n%s\n", n, r.Timelines[n])
-			}
+		var keys []int
+		for k := range r.Timelines {
+			keys = append(keys, k)
 		}
-	case "table1":
-		t, err := harness.Table1(o)
-		if err != nil {
-			return err
+		sort.Ints(keys)
+		for _, n := range keys {
+			fmt.Printf("--- %d processes (P0-P3, '#'=progress in ckpt, '_'=gap) ---\n%s\n", n, r.Timelines[n])
 		}
-		emit(tsv, t)
-	case "fig5":
-		a, b, err := harness.Fig5(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, a, b)
-	case "fig6":
-		a, b, err := harness.Fig6(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, a, b)
-	case "fig7":
-		t, err := harness.Fig7(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, t)
-	case "fig8":
-		t, err := harness.Fig8(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, t)
-	case "fig9":
-		t, err := harness.Fig9(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, t)
-	case "fig10":
-		t, err := harness.Fig10(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, t)
-	case "fig11":
-		a, b, err := harness.Fig11(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, a, b)
-	case "fig12":
-		a, b, err := harness.Fig12(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, a, b)
-	case "fig13":
-		t, err := harness.Fig13(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, t)
-	case "fig14":
-		t, err := harness.Fig14(o)
-		if err != nil {
-			return err
-		}
-		emit(tsv, t)
-	default:
-		return fmt.Errorf("unknown experiment id %q", id)
+		return nil
 	}
+	e, ok := harness.Lookup(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment id %q (have %s)", id, strings.Join(harness.IDs(), " "))
+	}
+	tables, err := e.Run(o)
+	if err != nil {
+		return err
+	}
+	emit(tsv, tables...)
 	return nil
 }

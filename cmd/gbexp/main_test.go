@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestMain lets the test binary re-exec itself as the real CLI, so exit
+// codes can be asserted without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("GBEXP_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GBEXP_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestUnknownExperimentIDExitsNonZero(t *testing.T) {
+	out, err := runCLI(t, "-exp", "fig99")
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("unknown id did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+	if !strings.Contains(out, `unknown experiment id "fig99"`) {
+		t.Errorf("error does not name the bad id:\n%s", out)
+	}
+	// The error must list the valid ids, which come from the registry.
+	for _, id := range harness.IDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("error does not offer registered id %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestScenarioRejectsFigureFlags(t *testing.T) {
+	out, err := runCLI(t, "-scenario", "modern", "-quick")
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("-scenario -quick did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+	if !strings.Contains(out, "-quick") || !strings.Contains(out, "cannot be combined") {
+		t.Errorf("clash error does not name the offending flag:\n%s", out)
+	}
+}
+
+func TestUnknownScenarioExitsNonZero(t *testing.T) {
+	out, err := runCLI(t, "-scenario", "/no/such/spec.json")
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("missing scenario file did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+}
+
+func TestRunOneUsesRegistry(t *testing.T) {
+	err := runOne("nope", harness.Options{}, false, false)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment id") {
+		t.Fatalf("runOne(nope) = %v, want unknown-id error", err)
+	}
+	for _, id := range harness.IDs() {
+		if _, ok := harness.Lookup(id); !ok {
+			t.Errorf("id %q listed but not resolvable", id)
+		}
+	}
+}

@@ -21,6 +21,7 @@
 //	internal/failure   failure injection and group-vs-global recovery
 //	internal/harness   the paper's experiments (Figures 1–14, Table 1)
 //	internal/runner    parallel experiment engine: worker pool + memoization
+//	internal/scenario  declarative JSON experiment specs (gbexp -scenario)
 //
 // Experiments hand their run matrix (scales × modes × repetitions) to
 // internal/runner, which fans the independent, deterministically seeded

@@ -11,6 +11,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -54,6 +55,43 @@ func Gideon() Config {
 		DaemonMin:   200 * sim.Millisecond,
 		DaemonMax:   2500 * sim.Millisecond,
 	}
+}
+
+// Modern returns a present-day commodity-cluster calibration, the contrast
+// point to the paper's 2002-era testbed: multi-Gflop sustained per process,
+// 10 GbE (1.25 GB/s) with ~10 µs latency, and NVMe-class local storage.
+// Faster networks shrink coordination and image-write costs, which is
+// exactly the regime where the paper predicts larger groups pay off; OS
+// noise is also quieter (shorter, rarer daemon delays) than on Gideon.
+func Modern() Config {
+	return Config{
+		FlopRate:    20e9,
+		MemBytes:    64 << 30,
+		NICRate:     1.25e9,
+		Latency:     10 * sim.Microsecond,
+		MsgOverhead: 60,
+		DiskWrite:   2.5e9,
+		DiskRead:    3.5e9,
+		JitterFrac:  0.01,
+		DaemonEvery: 300 * sim.Second,
+		DaemonMin:   50 * sim.Millisecond,
+		DaemonMax:   500 * sim.Millisecond,
+	}
+}
+
+// Profiles lists the named calibrations Named resolves, in display order.
+func Profiles() []string { return []string{"gideon", "modern"} }
+
+// Named resolves a calibration by name ("gideon", "modern"), reporting
+// whether the name is known.
+func Named(name string) (Config, bool) {
+	switch strings.ToLower(name) {
+	case "gideon":
+		return Gideon(), true
+	case "modern":
+		return Modern(), true
+	}
+	return Config{}, false
 }
 
 // Node is one compute node. Each node runs at most one MPI process (as in

@@ -313,3 +313,29 @@ func TestAsyncRemoteBackgroundDrainConsumesServer(t *testing.T) {
 		t.Errorf("background drain served %d bytes, want all 10MB", got)
 	}
 }
+
+func TestNamedProfiles(t *testing.T) {
+	for _, name := range Profiles() {
+		if _, ok := Named(name); !ok {
+			t.Errorf("Profiles lists %q but Named does not resolve it", name)
+		}
+	}
+	g, ok := Named("Gideon") // case-insensitive
+	if !ok || g != Gideon() {
+		t.Error("Named(Gideon) did not resolve to the Gideon calibration")
+	}
+	if _, ok := Named("cray-xt5"); ok {
+		t.Error("Named resolved an unknown profile")
+	}
+}
+
+func TestModernIsFasterThanGideonEverywhere(t *testing.T) {
+	g, m := Gideon(), Modern()
+	if m.FlopRate <= g.FlopRate || m.NICRate <= g.NICRate ||
+		m.DiskWrite <= g.DiskWrite || m.DiskRead <= g.DiskRead {
+		t.Errorf("Modern not uniformly faster: %+v vs %+v", m, g)
+	}
+	if m.Latency >= g.Latency {
+		t.Errorf("Modern latency %v not below Gideon's %v", m.Latency, g.Latency)
+	}
+}

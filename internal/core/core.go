@@ -204,6 +204,18 @@ func (e *Engine) Snapshots() []*ckpt.Snapshot {
 	return out
 }
 
+// SnapshotNow returns rank's latest snapshot as of the current virtual time
+// (nil before its first checkpoint). Unlike Snapshots, which is normally
+// read after the run, SnapshotNow is meant for kernel-context callbacks —
+// failure injectors evaluate rollback cost against the checkpoint that
+// existed at the failure instant, not the final one.
+func (e *Engine) SnapshotNow(rank int) *ckpt.Snapshot { return e.states[rank].snap }
+
+// LogSetNow returns rank's live sender log set as of the current virtual
+// time. Failure injectors must read replay volumes at the failure instant:
+// piggybacked garbage collection prunes these logs as the run continues.
+func (e *Engine) LogSetNow(rank int) *mlog.Set { return e.states[rank].logs }
+
 // LogSets returns the per-rank sender logs (live; shared with restart).
 func (e *Engine) LogSets() []*mlog.Set {
 	out := make([]*mlog.Set, len(e.states))

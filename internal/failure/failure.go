@@ -53,6 +53,7 @@ func (pr *Probe) Arm(w *mpi.World, t sim.Time) {
 
 // Outcome compares group restart against global restart for one failure.
 type Outcome struct {
+	FailedNode   int // the node that failed (-1 when unknown, e.g. Evaluate)
 	FailedGroup  int
 	FailedRanks  []int
 	At           sim.Time
@@ -74,7 +75,7 @@ func Evaluate(pr *Probe, f group.Formation, snaps []*ckpt.Snapshot, logs []*mlog
 	if failedGroup < 0 || failedGroup >= len(f.Groups) {
 		return Outcome{}, fmt.Errorf("failure: no group %d", failedGroup)
 	}
-	out := Outcome{FailedGroup: failedGroup, At: pr.At}
+	out := Outcome{FailedNode: -1, FailedGroup: failedGroup, At: pr.At}
 	out.FailedRanks = append(out.FailedRanks, f.Groups[failedGroup]...)
 	failed := map[int]bool{}
 	for _, r := range out.FailedRanks {

@@ -1,0 +1,72 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Process is a stochastic node-failure arrival process: a renewal process
+// whose gaps are the system-wide times between consecutive failures. The
+// paper's argument assumes "failures only occur in a small region of a
+// large system" at any one instant; a Process supplies the *when*, the
+// Injector picks the *where* (a node drawn uniformly) and evaluates each
+// failure under group versus global restart.
+type Process interface {
+	// Name identifies the process and its parameters in reports.
+	Name() string
+	// NextGap draws the time until the next failure from rng. Gaps must
+	// be strictly positive.
+	NextGap(rng *rand.Rand) sim.Time
+}
+
+// Poisson is the classical memoryless failure model: exponential gaps with
+// the given system-wide mean time between failures.
+type Poisson struct {
+	MTBF sim.Time
+}
+
+// Name implements Process.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(mtbf=%v)", p.MTBF) }
+
+// NextGap implements Process.
+func (p Poisson) NextGap(rng *rand.Rand) sim.Time {
+	return clampGap(sim.Time(rng.ExpFloat64() * float64(p.MTBF)))
+}
+
+// Weibull models the hazard shapes real HPC failure logs show: Shape < 1
+// gives a decreasing hazard (infant mortality — failures cluster early,
+// the common finding in large-system studies), Shape > 1 wear-out, and
+// Shape = 1 reduces to Poisson. MTBF is the distribution mean; the scale
+// parameter is derived as MTBF / Γ(1 + 1/Shape).
+type Weibull struct {
+	Shape float64
+	MTBF  sim.Time
+}
+
+// Name implements Process.
+func (w Weibull) Name() string {
+	return fmt.Sprintf("weibull(shape=%.2f,mtbf=%v)", w.Shape, w.MTBF)
+}
+
+// NextGap implements Process, sampling by inverse transform:
+// scale · (−ln U)^(1/shape).
+func (w Weibull) NextGap(rng *rand.Rand) sim.Time {
+	scale := float64(w.MTBF) / math.Gamma(1+1/w.Shape)
+	u := rng.Float64()
+	for u == 0 { // (−ln 0) would overflow
+		u = rng.Float64()
+	}
+	return clampGap(sim.Time(scale * math.Pow(-math.Log(u), 1/w.Shape)))
+}
+
+// clampGap keeps renewal gaps strictly positive so an injector can never
+// schedule an unbounded burst of failures at one instant.
+func clampGap(g sim.Time) sim.Time {
+	if g < sim.Millisecond {
+		return sim.Millisecond
+	}
+	return g
+}

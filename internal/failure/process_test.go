@@ -1,0 +1,78 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func meanGap(t *testing.T, p Process, n int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	for i := 0; i < n; i++ {
+		g := p.NextGap(rng)
+		if g <= 0 {
+			t.Fatalf("%s: non-positive gap %v", p.Name(), g)
+		}
+		sum += g.Seconds()
+	}
+	return sum / float64(n)
+}
+
+func TestPoissonMeanMatchesMTBF(t *testing.T) {
+	m := meanGap(t, Poisson{MTBF: 100 * sim.Second}, 20000)
+	if math.Abs(m-100) > 5 {
+		t.Errorf("poisson mean gap = %.1fs, want ≈100s", m)
+	}
+}
+
+func TestWeibullMeanMatchesMTBF(t *testing.T) {
+	for _, shape := range []float64{0.7, 1.0, 1.5} {
+		m := meanGap(t, Weibull{Shape: shape, MTBF: 100 * sim.Second}, 20000)
+		if math.Abs(m-100) > 5 {
+			t.Errorf("weibull(shape=%.1f) mean gap = %.1fs, want ≈100s", shape, m)
+		}
+	}
+}
+
+func TestWeibullShapeSkewsEarly(t *testing.T) {
+	// Shape < 1 has a heavier head: more short gaps than exponential at
+	// the same mean. Compare the fraction of gaps below 10% of the MTBF.
+	frac := func(p Process) float64 {
+		rng := rand.New(rand.NewSource(7))
+		short := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if p.NextGap(rng) < 10*sim.Second {
+				short++
+			}
+		}
+		return float64(short) / n
+	}
+	infant := frac(Weibull{Shape: 0.7, MTBF: 100 * sim.Second})
+	expo := frac(Poisson{MTBF: 100 * sim.Second})
+	if infant <= expo {
+		t.Errorf("weibull(0.7) short-gap fraction %.3f not above poisson's %.3f", infant, expo)
+	}
+}
+
+func TestProcessDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []sim.Time {
+		rng := rand.New(rand.NewSource(seed))
+		p := Weibull{Shape: 0.7, MTBF: 60 * sim.Second}
+		var out []sim.Time
+		for i := 0; i < 50; i++ {
+			out = append(out, p.NextGap(rng))
+		}
+		return out
+	}
+	a, b := draw(3), draw(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/group"
 	"repro/internal/mlog"
 	"repro/internal/mpi"
@@ -62,6 +63,19 @@ type Spec struct {
 
 	// GroupMax bounds GP's trace-derived group size (0 = ⌈√n⌉).
 	GroupMax int
+
+	// FailureProc, when non-nil, arms a stochastic failure injector on
+	// the run: failures arrive as a renewal process, strike uniformly
+	// drawn nodes, and each is evaluated at its instant under group vs.
+	// global restart (Result.Failures). Injection is observational — it
+	// never perturbs the simulation — and requires a group-based mode
+	// (VCL keeps no per-rank sender logs to evaluate against).
+	FailureProc failure.Process
+	// FailureSeed seeds the failure process independently of the run
+	// (0 derives a seed from Seed).
+	FailureSeed int64
+	// MaxFailures caps injected failures (0 = failure.DefaultMaxFailures).
+	MaxFailures int
 }
 
 // Result collects everything a run produced.
@@ -78,6 +92,10 @@ type Result struct {
 	Spans     []core.Span
 	Trace     []trace.Record
 	Events    uint64
+
+	// Failures holds the injected-failure evaluations, in arrival order,
+	// when the spec armed a FailureProc.
+	Failures []failure.Outcome
 }
 
 func zeroIsGideon(c cluster.Config) cluster.Config {
@@ -139,6 +157,9 @@ func Run(spec Spec) (*Result, error) {
 
 	switch spec.Mode {
 	case VCL:
+		if spec.FailureProc != nil {
+			return nil, fmt.Errorf("harness: %s/%s: failure injection requires a group-based mode", wl.Name(), spec.Mode)
+		}
 		v := core.NewVCL(w, store, wl.ImageBytes)
 		schedule(
 			func(t sim.Time, _ []int) { v.ScheduleAt(t) },
@@ -163,9 +184,21 @@ func Run(spec Spec) (*Result, error) {
 		cfg.Store = store
 		e := core.NewEngine(w, cfg)
 		schedule(e.ScheduleAt, e.SchedulePeriodic)
+		var inj *failure.Injector
+		if spec.FailureProc != nil {
+			seed := spec.FailureSeed
+			if seed == 0 {
+				seed = spec.Seed ^ 0x5DEECE66D // decorrelate from the kernel stream
+			}
+			inj = failure.NewInjector(w, f, e, spec.FailureProc, seed, spec.MaxFailures)
+			inj.Arm()
+		}
 		w.Launch(wl.Body)
 		if err := k.Run(); err != nil {
 			return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name(), spec.Mode, err)
+		}
+		if inj != nil {
+			res.Failures = inj.Outcomes()
 		}
 		res.Name = e.Name()
 		res.Records = e.Records()
@@ -236,7 +269,11 @@ func tracedFormation(spec Spec) (group.Formation, error) {
 	if max <= 0 {
 		max = group.DefaultMaxSize(n)
 	}
-	key := fmt.Sprintf("%s/n%d/G%d", spec.WL.Name(), n, max)
+	// The key must pin everything the tracing pass depends on: the
+	// workload's full communication configuration (Name encodes each
+	// skeleton's knobs) and the cluster calibration — scenario specs can
+	// vary both, and two configurations must never share a formation.
+	key := fmt.Sprintf("%s/n%d/G%d/%+v", spec.WL.Name(), n, max, zeroIsGideon(spec.Cluster))
 	return formationCache.Get(key, func() (group.Formation, error) {
 		k := sim.NewKernel(977)
 		cfg := zeroIsGideon(spec.Cluster)

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Experiment is one registered reproduction: a stable id (the paper's
+// figure or table number), a one-line title, and a runner producing the
+// tables that figure reports.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) ([]*stats.Table, error)
+}
+
+// one and two adapt the figure functions' natural signatures to the
+// registry's uniform []*stats.Table.
+func one(f func(Options) (*stats.Table, error)) func(Options) ([]*stats.Table, error) {
+	return func(o Options) ([]*stats.Table, error) {
+		t, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{t}, nil
+	}
+}
+
+func two(f func(Options) (*stats.Table, *stats.Table, error)) func(Options) ([]*stats.Table, error) {
+	return func(o Options) ([]*stats.Table, error) {
+		a, b, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{a, b}, nil
+	}
+}
+
+// experiments lists every reproduction in the paper's order. cmd/gbexp
+// derives its flag help and the "all" sweep from this slice, so an
+// experiment registered here is immediately reachable from the CLI and the
+// two can never drift.
+var experiments = []Experiment{
+	{"fig1", "aggregate coordination time of one global checkpoint (HPL, NORM)", one(Fig1)},
+	{"fig2", "CG under VCL: gap fraction of checkpoint windows", func(o Options) ([]*stats.Table, error) {
+		r, err := Fig2(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{r.Table}, nil
+	}},
+	{"table1", "trace-derived group formation for HPL, 32 processes", one(Table1)},
+	{"fig5", "HPL execution time with one checkpoint", two(Fig5)},
+	{"fig6", "summed checkpoint and restart time (HPL)", two(Fig6)},
+	{"fig7", "data resent during restart", one(Fig7)},
+	{"fig8", "resend operations during restart", one(Fig8)},
+	{"fig9", "checkpoint time breakdown by stage", one(Fig9)},
+	{"fig10", "effect of periodic checkpoints", one(Fig10)},
+	{"fig11", "CG class C checkpoint/restart sweep", two(Fig11)},
+	{"fig12", "SP class C checkpoint/restart sweep", two(Fig12)},
+	{"fig13", "effect of scale with remote checkpoint storage", one(Fig13)},
+	{"fig14", "average time per checkpoint, GP vs VCL", one(Fig14)},
+}
+
+// Experiments returns the registry in paper order. The slice is shared;
+// callers must not mutate it.
+func Experiments() []Experiment { return experiments }
+
+// IDs returns every registered experiment id in paper order.
+func IDs() []string {
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Lookup resolves an experiment id, reporting whether it is registered.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func init() {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if e.ID == "" || e.Run == nil || seen[e.ID] {
+			panic(fmt.Sprintf("harness: bad registry entry %q", e.ID))
+		}
+		seen[e.ID] = true
+	}
+}

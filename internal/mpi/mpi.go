@@ -99,9 +99,6 @@ func NewWorld(k *sim.Kernel, c *cluster.Cluster, n int) *World {
 			recvd:    make([]*sim.Counter, n),
 			appRecvd: make([]int64, n),
 		}
-		for j := 0; j < n; j++ {
-			r.recvd[j] = sim.NewCounter(k, fmt.Sprintf("rx%d<-%d", i, j))
-		}
 		w.Ranks = append(w.Ranks, r)
 	}
 	return w
@@ -152,11 +149,28 @@ func (r *Rank) SentBytes(dst int) int64 { return r.sent[dst] }
 
 // RecvdCounter returns the transport-level received-bytes counter for
 // messages from src. Protocols drain channels by awaiting it.
-func (r *Rank) RecvdCounter(src int) *sim.Counter { return r.recvd[src] }
+//
+// Counters are allocated on first use: a world of n ranks has n² potential
+// channels, but real workloads touch only a few peers per rank, and eager
+// allocation is what used to cap worlds at a few hundred ranks (4096 ranks
+// would mean 16.7M counters before the first event fires).
+func (r *Rank) RecvdCounter(src int) *sim.Counter {
+	c := r.recvd[src]
+	if c == nil {
+		c = sim.NewCounter(r.W.K, fmt.Sprintf("rx%d<-%d", r.ID, src))
+		r.recvd[src] = c
+	}
+	return c
+}
 
 // RecvdBytes returns the transport-level bytes received from src (delivered
 // to this node, whether or not the application has consumed them).
-func (r *Rank) RecvdBytes(src int) int64 { return r.recvd[src].Value() }
+func (r *Rank) RecvdBytes(src int) int64 {
+	if c := r.recvd[src]; c != nil {
+		return c.Value()
+	}
+	return 0
+}
 
 // AppRecvdBytes returns the bytes the application has actually consumed
 // (completed Recv calls) from src. This is Algorithm 1's R_X: a frozen rank

@@ -35,7 +35,7 @@ func (r *Rank) deliver(p *sim.Proc, m *Msg) {
 	w.K.At(arr, func() {
 		m.ArriveTime = w.K.Now()
 		if !m.Ctrl {
-			d.recvd[m.Src].Add(m.Bytes)
+			d.RecvdCounter(m.Src).Add(m.Bytes)
 			if h := w.Hooks; h != nil {
 				h.OnDeliver(d, m)
 			}

@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkScenario4096 runs one 4096-rank cell with stochastic failures —
+// 32× the paper's peak scale, the regime the kernel's concrete event heap
+// and lazy per-channel counters were reworked for. Wall time per op is the
+// headline: a cell at this scale completes in seconds, so scenario sweeps
+// to 4096 ranks are routine.
+func BenchmarkScenario4096(b *testing.B) {
+	src := `{
+		"name": "scale-4096",
+		"cluster": {"profile": "modern"},
+		"workload": {"kind": "synthetic", "iters": 60, "mflopsPerIter": 3000},
+		"scales": [4096],
+		"modes": ["GP1"],
+		"checkpoint": {"intervalS": 5},
+		"failures": {"process": "poisson", "mtbfS": 4},
+		"reps": 1,
+		"seed": 1
+	}`
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

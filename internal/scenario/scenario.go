@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/failure"
+	"repro/internal/harness"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// cell is one run of the sweep: the matrix key (scale, mode, rep) in
+// row-major order, mirroring the harness's figure matrices. Seed is the
+// cell's run seed, derived from its position in the flattened matrix so no
+// two cells can collide whatever the Scales/Modes/Reps shape.
+type cell struct {
+	Scale   int
+	ModeIdx int
+	Rep     int
+	Seed    int64
+}
+
+// cellResult is one run's measurements.
+type cellResult struct {
+	exec   float64
+	epochs float64
+	fails  failure.Totals
+}
+
+// Run executes the sweep — Scales × Modes × Reps independent simulations
+// fanned across workers (≤ 0 = all cores) — and renders one table row per
+// (scale, mode). Every cell is seeded from the spec seed and its matrix
+// coordinates, so the table is byte-identical at any worker count and
+// across runs: a scenario file plus a seed IS the experiment.
+func (s *Spec) Run(workers int) (*stats.Table, error) {
+	clusterCfg, err := s.Cluster.Config()
+	if err != nil {
+		return nil, err
+	}
+	base := s.Seed * 1_000_003
+	var cells []cell
+	for _, n := range s.Scales {
+		for mi := range s.Modes {
+			for rep := 0; rep < s.Reps; rep++ {
+				cells = append(cells, cell{Scale: n, ModeIdx: mi, Rep: rep,
+					Seed: base + int64(len(cells))})
+			}
+		}
+	}
+	results, err := runner.Map(workers, cells, func(c cell) (cellResult, error) {
+		spec := harness.Spec{
+			WL:            s.Workload.Build(c.Scale),
+			Mode:          harness.Mode(s.Modes[c.ModeIdx]),
+			Seed:          c.Seed,
+			Cluster:       clusterCfg,
+			Sched:         s.Checkpoint.schedule(),
+			GroupMax:      s.GroupMax,
+			RemoteServers: s.RemoteServers,
+			RemoteAsync:   s.RemoteAsync,
+		}
+		if s.Failures != nil {
+			spec.FailureProc = s.Failures.process()
+			spec.MaxFailures = s.Failures.Max
+		}
+		res, err := harness.Run(spec)
+		if err != nil {
+			return cellResult{}, err
+		}
+		return cellResult{
+			exec:   res.ExecTime.Seconds(),
+			epochs: float64(res.Epochs),
+			fails:  failure.Sum(res.Failures),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	byCell := map[cell][]cellResult{}
+	for i, c := range cells {
+		key := cell{Scale: c.Scale, ModeIdx: c.ModeIdx}
+		byCell[key] = append(byCell[key], results[i])
+	}
+
+	t := &stats.Table{Title: s.title()}
+	t.Columns = []string{"procs", "mode", "exec_s", "ckpts"}
+	if s.Failures != nil {
+		t.Columns = append(t.Columns, "fails", "lost_group_s", "lost_global_s", "saved_s", "replay_KB")
+	}
+	for _, n := range s.Scales {
+		for mi, mode := range s.Modes {
+			rs := byCell[cell{Scale: n, ModeIdx: mi}]
+			row := []any{n, mode,
+				stats.Summarize(collect(rs, func(r cellResult) float64 { return r.exec })),
+				stats.Mean(collect(rs, func(r cellResult) float64 { return r.epochs })),
+			}
+			if s.Failures != nil {
+				row = append(row,
+					stats.Mean(collect(rs, func(r cellResult) float64 { return float64(r.fails.Failures) })),
+					stats.Summarize(collect(rs, func(r cellResult) float64 { return r.fails.WorkLossGrp.Seconds() })),
+					stats.Summarize(collect(rs, func(r cellResult) float64 { return r.fails.WorkLossGlb.Seconds() })),
+					stats.Summarize(collect(rs, func(r cellResult) float64 { return r.fails.WorkSaved().Seconds() })),
+					stats.Summarize(collect(rs, func(r cellResult) float64 { return float64(r.fails.ReplayBytes) / 1024 })),
+				)
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.AddNote("cluster=%s workload=%s reps=%d seed=%d", s.Cluster.Profile, s.Workload.Kind, s.Reps, s.Seed)
+	if s.Failures != nil {
+		t.AddNote("failure process: %s; each failure evaluated at its instant under group vs. global restart", s.Failures.process().Name())
+	}
+	if s.Notes != "" {
+		t.AddNote("%s", s.Notes)
+	}
+	return t, nil
+}
+
+func (s *Spec) title() string {
+	return fmt.Sprintf("Scenario %s: %s on %s, modes %s",
+		s.Name, s.Workload.Kind, s.Cluster.Profile, strings.Join(s.Modes, "/"))
+}
+
+func collect(rs []cellResult, f func(cellResult) float64) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = f(r)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Built-in profiles.
+
+// builtins maps profile names to their spec source. They go through Parse
+// like any user file, so they are guaranteed to stay valid as the schema
+// evolves (TestBuiltInsParse).
+var builtins = map[string]string{
+	// gideon: the paper's testbed under a multi-failure lifetime — the
+	// motivating scenario Section 1 argues from, which no figure runs.
+	"gideon": `{
+		"name": "gideon",
+		"notes": "paper-era testbed; Poisson failures once per ~10s of a ~45s run",
+		"cluster": {"profile": "gideon"},
+		"workload": {"kind": "synthetic", "iters": 300, "mflopsPerIter": 150},
+		"scales": [32, 64],
+		"modes": ["GP", "GP1", "NORM"],
+		"checkpoint": {"intervalS": 10},
+		"failures": {"process": "poisson", "mtbfS": 10},
+		"reps": 2,
+		"seed": 42
+	}`,
+	// modern: present-day hardware at 4× the paper's peak scale, with the
+	// infant-mortality (Weibull shape < 1) lifetimes HPC failure studies
+	// report. Modes are group-based: at these scales a NORM run
+	// checkpoints continuously (each global coordination outlasts the
+	// 10 s interval — the paper's pathology, literally) and takes minutes
+	// of wall clock per cell; the group-vs-global verdict comes from the
+	// injector's lost_group_s / lost_global_s columns instead.
+	"modern": `{
+		"name": "modern",
+		"notes": "10GbE/NVMe calibration; Weibull(0.7) failures on a ~50s run",
+		"cluster": {"profile": "modern"},
+		"workload": {"kind": "synthetic", "iters": 300, "mflopsPerIter": 3000},
+		"scales": [256, 512],
+		"modes": ["GP", "GP1"],
+		"checkpoint": {"intervalS": 10},
+		"failures": {"process": "weibull", "shape": 0.7, "mtbfS": 15},
+		"reps": 2,
+		"seed": 42
+	}`,
+}
+
+// BuiltIn returns the named built-in scenario profile.
+func BuiltIn(name string) (*Spec, bool) {
+	src, ok := builtins[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		panic("scenario: built-in profile " + name + " invalid: " + err.Error())
+	}
+	return s, true
+}
+
+// BuiltInNames lists the built-in profiles in stable order.
+func BuiltInNames() []string {
+	var names []string
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

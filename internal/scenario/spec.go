@@ -1,0 +1,346 @@
+// Package scenario turns the harness into a declarative experiment engine:
+// a JSON spec composes a cluster calibration × a workload × group policies ×
+// a checkpoint schedule × a stochastic failure process into a runnable
+// sweep. The hard-coded figure reproductions in internal/harness replay the
+// paper's 2002 testbed; scenarios open the same machinery to arbitrary
+// configurations — modern hardware, 4096-rank scales, multi-failure
+// lifetimes — while keeping the determinism guarantee: a spec plus a seed
+// fully determines every table cell, at any worker count.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/failure"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Spec is one declarative experiment: the cross product of Scales × Modes ×
+// Reps cells, each a full simulation run.
+type Spec struct {
+	// Name labels the output table.
+	Name string `json:"name"`
+	// Notes is free-form commentary echoed under the table.
+	Notes string `json:"notes,omitempty"`
+
+	Cluster    ClusterSpec    `json:"cluster"`
+	Workload   WorkloadSpec   `json:"workload"`
+	Scales     []int          `json:"scales"`
+	Modes      []string       `json:"modes,omitempty"` // default ["GP","NORM"]
+	Checkpoint CheckpointSpec `json:"checkpoint"`
+	Failures   *FailureSpec   `json:"failures,omitempty"`
+
+	Reps int   `json:"reps,omitempty"` // repetitions per cell (default 2)
+	Seed int64 `json:"seed,omitempty"` // base seed (default 1)
+
+	// GroupMax bounds GP's trace-derived group size (0 = ⌈√n⌉).
+	GroupMax int `json:"groupMax,omitempty"`
+	// RemoteServers stores images on shared servers instead of local disk.
+	RemoteServers int  `json:"remoteServers,omitempty"`
+	RemoteAsync   bool `json:"remoteAsync,omitempty"`
+}
+
+// ClusterSpec selects a named calibration and optionally overrides it.
+// Override units are operator-friendly (MB/s, µs) rather than the model's
+// bytes/s and nanoseconds.
+type ClusterSpec struct {
+	Profile       string   `json:"profile,omitempty"` // "gideon" (default) | "modern"
+	GFlops        float64  `json:"gflops,omitempty"`
+	NICMBps       float64  `json:"nicMBps,omitempty"`
+	LatencyUs     float64  `json:"latencyUs,omitempty"`
+	DiskWriteMBps float64  `json:"diskWriteMBps,omitempty"`
+	DiskReadMBps  float64  `json:"diskReadMBps,omitempty"`
+	JitterFrac    *float64 `json:"jitterFrac,omitempty"` // pointer: 0 disables jitter
+}
+
+// Config resolves the spec to a hardware model.
+func (c ClusterSpec) Config() (cluster.Config, error) {
+	profile := c.Profile
+	if profile == "" {
+		profile = "gideon"
+	}
+	cfg, ok := cluster.Named(profile)
+	if !ok {
+		return cluster.Config{}, fmt.Errorf("unknown cluster profile %q (have %s)",
+			c.Profile, strings.Join(cluster.Profiles(), ", "))
+	}
+	if c.GFlops > 0 {
+		cfg.FlopRate = c.GFlops * 1e9
+	}
+	if c.NICMBps > 0 {
+		cfg.NICRate = c.NICMBps * 1e6
+	}
+	if c.LatencyUs > 0 {
+		cfg.Latency = sim.Time(c.LatencyUs * float64(sim.Microsecond))
+	}
+	if c.DiskWriteMBps > 0 {
+		cfg.DiskWrite = c.DiskWriteMBps * 1e6
+	}
+	if c.DiskReadMBps > 0 {
+		cfg.DiskRead = c.DiskReadMBps * 1e6
+	}
+	if c.JitterFrac != nil {
+		cfg.JitterFrac = *c.JitterFrac
+	}
+	return cfg, nil
+}
+
+// WorkloadSpec names a workload skeleton and its parameters. Zero-valued
+// parameters keep each skeleton's defaults.
+type WorkloadSpec struct {
+	Kind string `json:"kind"` // synthetic | hpl | cg | sp
+
+	// synthetic
+	Iters         int     `json:"iters,omitempty"`
+	RingKB        int64   `json:"ringKB,omitempty"`
+	CrossKB       int64   `json:"crossKB,omitempty"`
+	CrossEach     int     `json:"crossEach,omitempty"`
+	MFlopsPerIter float64 `json:"mflopsPerIter,omitempty"`
+	ImageMB       int64   `json:"imageMB,omitempty"`
+
+	// hpl (N), sp (Problem)
+	Problem int `json:"problem,omitempty"`
+	// cg
+	NA int `json:"na,omitempty"`
+	// cg / sp iteration count override
+	NIter int `json:"niter,omitempty"`
+}
+
+// workloadKinds maps each kind to its per-scale constraint.
+var workloadKinds = map[string]func(n int) error{
+	"synthetic": func(n int) error { return nil },
+	"hpl": func(n int) error {
+		if n%8 != 0 {
+			return fmt.Errorf("hpl needs a multiple of 8 ranks, got %d", n)
+		}
+		return nil
+	},
+	"cg": func(n int) error {
+		if n <= 0 || n&(n-1) != 0 {
+			return fmt.Errorf("cg needs a power-of-two rank count, got %d", n)
+		}
+		return nil
+	},
+	"sp": func(n int) error {
+		sq := int(math.Round(math.Sqrt(float64(n))))
+		if sq*sq != n {
+			return fmt.Errorf("sp needs a square rank count, got %d", n)
+		}
+		return nil
+	},
+}
+
+// Build constructs the workload at scale n.
+func (w WorkloadSpec) Build(n int) workload.Workload {
+	switch w.Kind {
+	case "synthetic":
+		wl := workload.NewSynthetic(n, defInt(w.Iters, 40))
+		if w.RingKB > 0 {
+			wl.RingBytes = w.RingKB << 10
+		}
+		if w.CrossKB > 0 {
+			wl.CrossByte = w.CrossKB << 10
+		}
+		if w.CrossEach > 0 {
+			wl.CrossEach = w.CrossEach
+		}
+		if w.MFlopsPerIter > 0 {
+			wl.Flops = w.MFlopsPerIter * 1e6
+		}
+		if w.ImageMB > 0 {
+			wl.Image = w.ImageMB << 20
+		}
+		return wl
+	case "hpl":
+		return workload.NewHPL(defInt(w.Problem, 20000), n)
+	case "cg":
+		wl := workload.CGClassC(n)
+		if w.NA > 0 {
+			wl.NA = w.NA
+		}
+		if w.NIter > 0 {
+			wl.NIter = w.NIter
+		}
+		return wl
+	case "sp":
+		wl := workload.SPClassC(n)
+		if w.Problem > 0 {
+			wl.Problem = w.Problem
+		}
+		if w.NIter > 0 {
+			wl.NIter = w.NIter
+		}
+		return wl
+	}
+	panic("scenario: Build on unvalidated workload kind " + w.Kind)
+}
+
+// CheckpointSpec schedules checkpoints in seconds of virtual time.
+type CheckpointSpec struct {
+	AtS       float64 `json:"atS,omitempty"`       // one checkpoint at this time
+	StartS    float64 `json:"startS,omitempty"`    // first periodic checkpoint
+	IntervalS float64 `json:"intervalS,omitempty"` // periodic interval
+	MaxCount  int     `json:"maxCount,omitempty"`  // cap on periodic checkpoints
+}
+
+func (c CheckpointSpec) schedule() harness.Schedule {
+	return harness.Schedule{
+		At:       sim.Seconds(c.AtS),
+		Start:    sim.Seconds(c.StartS),
+		Interval: sim.Seconds(c.IntervalS),
+		MaxCount: c.MaxCount,
+	}
+}
+
+// FailureSpec arms a stochastic failure process on every cell.
+type FailureSpec struct {
+	Process string  `json:"process"`         // poisson | weibull
+	MTBFS   float64 `json:"mtbfS"`           // mean time between failures, seconds
+	Shape   float64 `json:"shape,omitempty"` // weibull shape (default 0.7)
+	Max     int     `json:"max,omitempty"`   // cap per run (default failure.DefaultMaxFailures)
+}
+
+func (f *FailureSpec) process() failure.Process {
+	mtbf := sim.Seconds(f.MTBFS)
+	switch f.Process {
+	case "poisson":
+		return failure.Poisson{MTBF: mtbf}
+	case "weibull":
+		shape := f.Shape
+		if shape == 0 {
+			shape = 0.7
+		}
+		return failure.Weibull{Shape: shape, MTBF: mtbf}
+	}
+	panic("scenario: process on unvalidated failure spec " + f.Process)
+}
+
+var validModes = map[harness.Mode]bool{
+	harness.GP: true, harness.GP1: true, harness.GP4: true,
+	harness.NORM: true, harness.VCL: true,
+}
+
+// applyDefaults fills the documented defaults in place.
+func (s *Spec) applyDefaults() {
+	if s.Name == "" {
+		s.Name = "unnamed"
+	}
+	if s.Cluster.Profile == "" {
+		s.Cluster.Profile = "gideon"
+	}
+	if len(s.Modes) == 0 {
+		s.Modes = []string{string(harness.GP), string(harness.NORM)}
+	}
+	if s.Reps == 0 {
+		s.Reps = 2
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// Validate checks the spec after defaulting. All errors name the offending
+// field so a spec author can fix the file without reading this package.
+func (s *Spec) Validate() error {
+	if _, err := s.Cluster.Config(); err != nil {
+		return fmt.Errorf("scenario %q: cluster: %w", s.Name, err)
+	}
+	checkScale, ok := workloadKinds[s.Workload.Kind]
+	if !ok {
+		return fmt.Errorf("scenario %q: unknown workload kind %q (have synthetic, hpl, cg, sp)", s.Name, s.Workload.Kind)
+	}
+	if len(s.Scales) == 0 {
+		return fmt.Errorf("scenario %q: scales must list at least one rank count", s.Name)
+	}
+	for _, n := range s.Scales {
+		if n <= 0 {
+			return fmt.Errorf("scenario %q: scale %d not positive", s.Name, n)
+		}
+		if err := checkScale(n); err != nil {
+			return fmt.Errorf("scenario %q: scale %d: %w", s.Name, n, err)
+		}
+	}
+	for _, m := range s.Modes {
+		if !validModes[harness.Mode(m)] {
+			return fmt.Errorf("scenario %q: unknown group policy %q (have GP, GP1, GP4, NORM, VCL)", s.Name, m)
+		}
+		if harness.Mode(m) == harness.VCL && s.Failures != nil {
+			return fmt.Errorf("scenario %q: failure injection requires a group-based policy, not VCL", s.Name)
+		}
+	}
+	if s.Reps < 0 {
+		return fmt.Errorf("scenario %q: reps %d negative", s.Name, s.Reps)
+	}
+	ck := s.Checkpoint
+	if ck.AtS < 0 || ck.StartS < 0 || ck.IntervalS < 0 || ck.MaxCount < 0 {
+		return fmt.Errorf("scenario %q: checkpoint times and counts must be non-negative", s.Name)
+	}
+	if f := s.Failures; f != nil {
+		if f.Process != "poisson" && f.Process != "weibull" {
+			return fmt.Errorf("scenario %q: unknown failure process %q (have poisson, weibull)", s.Name, f.Process)
+		}
+		if f.MTBFS <= 0 {
+			return fmt.Errorf("scenario %q: failure mtbfS %.3f must be positive", s.Name, f.MTBFS)
+		}
+		if f.Shape < 0 {
+			return fmt.Errorf("scenario %q: failure shape %.3f negative", s.Name, f.Shape)
+		}
+		if f.Max < 0 {
+			return fmt.Errorf("scenario %q: failure max %d negative", s.Name, f.Max)
+		}
+	}
+	if s.GroupMax < 0 || s.RemoteServers < 0 {
+		return fmt.Errorf("scenario %q: groupMax and remoteServers must be non-negative", s.Name)
+	}
+	return nil
+}
+
+// Parse decodes a spec from JSON, rejecting unknown fields (a typoed knob
+// must fail loudly, not silently run the default), then defaults and
+// validates it.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	s := &Spec{}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing data after spec")
+	}
+	s.applyDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Load reads a spec file.
+func Load(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Marshal renders the spec back to indented JSON (round-trip support).
+func (s *Spec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+func defInt(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}

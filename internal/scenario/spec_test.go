@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func parse(t *testing.T, src string) *Spec {
+	t.Helper()
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+const minimal = `{
+	"workload": {"kind": "synthetic"},
+	"scales": [8],
+	"checkpoint": {"intervalS": 2}
+}`
+
+func TestParseDefaults(t *testing.T) {
+	s := parse(t, minimal)
+	if s.Name != "unnamed" {
+		t.Errorf("Name = %q, want unnamed", s.Name)
+	}
+	if s.Cluster.Profile != "gideon" {
+		t.Errorf("Cluster.Profile = %q, want gideon", s.Cluster.Profile)
+	}
+	if want := []string{"GP", "NORM"}; !reflect.DeepEqual(s.Modes, want) {
+		t.Errorf("Modes = %v, want %v", s.Modes, want)
+	}
+	if s.Reps != 2 || s.Seed != 1 {
+		t.Errorf("Reps/Seed = %d/%d, want 2/1", s.Reps, s.Seed)
+	}
+	cfg, err := s.Cluster.Config()
+	if err != nil || cfg != cluster.Gideon() {
+		t.Errorf("default cluster config = %+v (%v), want Gideon", cfg, err)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"workload": {"kind": "synthetic"}, "scales": [8], "checkpoint": {}, "mtbf": 3}`))
+	if err == nil || !strings.Contains(err.Error(), "mtbf") {
+		t.Errorf("unknown top-level field not rejected: %v", err)
+	}
+	_, err = Parse(strings.NewReader(`{"workload": {"kind": "synthetic", "flops": 1}, "scales": [8], "checkpoint": {}}`))
+	if err == nil {
+		t.Error("unknown workload field not rejected")
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	if _, err := Parse(strings.NewReader(minimal + `{"second": true}`)); err == nil {
+		t.Error("trailing JSON document not rejected")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown workload", `{"workload": {"kind": "linpack"}, "scales": [8]}`, "unknown workload kind"},
+		{"unknown mode", `{"workload": {"kind": "synthetic"}, "scales": [8], "modes": ["GP2"]}`, "unknown group policy"},
+		{"unknown cluster", `{"cluster": {"profile": "cray-xt5"}, "workload": {"kind": "synthetic"}, "scales": [8]}`, "unknown cluster profile"},
+		{"no scales", `{"workload": {"kind": "synthetic"}}`, "at least one rank count"},
+		{"negative scale", `{"workload": {"kind": "synthetic"}, "scales": [-4]}`, "not positive"},
+		{"hpl scale", `{"workload": {"kind": "hpl"}, "scales": [12]}`, "multiple of 8"},
+		{"cg scale", `{"workload": {"kind": "cg"}, "scales": [24]}`, "power-of-two"},
+		{"sp scale", `{"workload": {"kind": "sp"}, "scales": [24]}`, "square"},
+		{"negative reps", `{"workload": {"kind": "synthetic"}, "scales": [8], "reps": -1}`, "reps"},
+		{"negative checkpoint", `{"workload": {"kind": "synthetic"}, "scales": [8], "checkpoint": {"intervalS": -5}}`, "non-negative"},
+		{"unknown process", `{"workload": {"kind": "synthetic"}, "scales": [8], "failures": {"process": "lognormal", "mtbfS": 3}}`, "unknown failure process"},
+		{"negative rate", `{"workload": {"kind": "synthetic"}, "scales": [8], "failures": {"process": "poisson", "mtbfS": -3}}`, "must be positive"},
+		{"zero rate", `{"workload": {"kind": "synthetic"}, "scales": [8], "failures": {"process": "poisson"}}`, "must be positive"},
+		{"negative shape", `{"workload": {"kind": "synthetic"}, "scales": [8], "failures": {"process": "weibull", "mtbfS": 3, "shape": -1}}`, "shape"},
+		{"negative max", `{"workload": {"kind": "synthetic"}, "scales": [8], "failures": {"process": "poisson", "mtbfS": 3, "max": -1}}`, "max"},
+		{"vcl with failures", `{"workload": {"kind": "synthetic"}, "scales": [8], "modes": ["VCL"], "failures": {"process": "poisson", "mtbfS": 3}}`, "group-based"},
+		{"negative groupMax", `{"workload": {"kind": "synthetic"}, "scales": [8], "groupMax": -2}`, "non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestClusterOverrides(t *testing.T) {
+	zero := 0.0
+	c := ClusterSpec{Profile: "modern", GFlops: 5, NICMBps: 100,
+		LatencyUs: 40, DiskWriteMBps: 200, DiskReadMBps: 300, JitterFrac: &zero}
+	cfg, err := c.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FlopRate != 5e9 || cfg.NICRate != 100e6 ||
+		cfg.Latency != 40*sim.Microsecond ||
+		cfg.DiskWrite != 200e6 || cfg.DiskRead != 300e6 || cfg.JitterFrac != 0 {
+		t.Errorf("overrides not applied: %+v", cfg)
+	}
+	// Unset knobs keep the profile's values.
+	if cfg.MemBytes != cluster.Modern().MemBytes {
+		t.Errorf("MemBytes = %d, want profile default", cfg.MemBytes)
+	}
+}
+
+func TestExampleSpecRoundTrip(t *testing.T) {
+	s, err := Load("../../examples/scenarios/modern-weibull.json")
+	if err != nil {
+		t.Fatalf("shipped example spec invalid: %v", err)
+	}
+	if len(s.Scales) == 0 || s.Scales[len(s.Scales)-1] < 1024 {
+		t.Errorf("example spec scales %v do not reach 1024 ranks", s.Scales)
+	}
+	if s.Failures == nil {
+		t.Error("example spec has no failure process")
+	}
+	out, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-parse of marshalled spec: %v", err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed the spec:\n%+v\nvs\n%+v", s, back)
+	}
+}
+
+func TestBuiltInsParse(t *testing.T) {
+	names := BuiltInNames()
+	if len(names) < 2 {
+		t.Fatalf("BuiltInNames = %v, want at least gideon and modern", names)
+	}
+	for _, name := range names {
+		s, ok := BuiltIn(name)
+		if !ok {
+			t.Errorf("BuiltIn(%q) not found though listed", name)
+			continue
+		}
+		if s.Name != name {
+			t.Errorf("BuiltIn(%q).Name = %q", name, s.Name)
+		}
+	}
+	if _, ok := BuiltIn("no-such-profile"); ok {
+		t.Error("BuiltIn resolved an unknown profile")
+	}
+}

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"math/rand"
-)
+import "math/rand"
 
 // event is a scheduled occurrence: either the wakeup of a blocked process or
 // a kernel-context callback.
@@ -15,30 +12,71 @@ type event struct {
 	fn    func() // non-nil: run this callback in kernel context
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// eventHeap is a concrete min-heap of event values ordered by (at, seq).
+// Every simulated operation funnels through push/pop here, so the heap is
+// deliberately monomorphic: events are stored by value (one backing array,
+// no per-event allocation) and sifted with inlined comparisons instead of
+// container/heap's interface calls. The heap.Interface version this
+// replaces boxed each *event through `any` and paid a dynamic dispatch per
+// comparison and swap; see BenchmarkKernelEventChurn.
+type eventHeap struct {
+	a []event
 }
-func (h eventHeap) peek() *event   { return h[0] }
-func (h *eventHeap) pop() *event   { return heap.Pop(h).(*event) }
-func (h *eventHeap) push(e *event) { heap.Push(h, e) }
-func (h *eventHeap) init()         { heap.Init(h) }
+
+func (h *eventHeap) Len() int { return len(h.a) }
+
+func (h *eventHeap) peek() *event { return &h.a[0] }
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	// Sift up, moving the hole instead of swapping.
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(&h.a[parent]) {
+			break
+		}
+		h.a[i] = h.a[parent]
+		i = parent
+	}
+	h.a[i] = e
+}
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	n := len(h.a) - 1
+	last := h.a[n]
+	h.a[n] = event{} // release the callback/proc references
+	h.a = h.a[:n]
+	if n > 0 {
+		// Sift the former last element down from the root.
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && h.a[r].before(&h.a[c]) {
+				c = r
+			}
+			if !h.a[c].before(&last) {
+				break
+			}
+			h.a[i] = h.a[c]
+			i = c
+		}
+		h.a[i] = last
+	}
+	return top
+}
 
 // Kernel is a discrete-event simulation kernel. The zero value is not usable;
 // construct with NewKernel.
@@ -59,12 +97,10 @@ type Kernel struct {
 // NewKernel returns a kernel whose random source is seeded with seed.
 // Identical seeds produce identical simulations.
 func NewKernel(seed int64) *Kernel {
-	k := &Kernel{
+	return &Kernel{
 		yield: make(chan struct{}),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
-	k.eq.init()
-	return k
 }
 
 // Now returns the current virtual time.
@@ -92,7 +128,7 @@ func (k *Kernel) At(t Time, fn func()) {
 		t = k.now
 	}
 	k.seq++
-	k.eq.push(&event{at: t, seq: k.seq, fn: fn})
+	k.eq.push(event{at: t, seq: k.seq, fn: fn})
 }
 
 // After is At relative to the current time.
@@ -105,7 +141,7 @@ func (k *Kernel) scheduleWake(t Time, p *Proc) {
 		t = k.now
 	}
 	k.seq++
-	k.eq.push(&event{at: t, seq: k.seq, p: p, token: p.token})
+	k.eq.push(event{at: t, seq: k.seq, p: p, token: p.token})
 }
 
 // Spawn creates a simulated process named name running fn and schedules it to

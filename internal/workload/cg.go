@@ -60,7 +60,7 @@ func (c *CG) layout() {
 
 // Name implements Workload.
 func (c *CG) Name() string {
-	return fmt.Sprintf("CG(na=%d,%dx%d)", c.NA, c.rows, c.cols)
+	return fmt.Sprintf("CG(na=%d,it=%d,%dx%d)", c.NA, c.NIter, c.rows, c.cols)
 }
 
 // Procs implements Workload.

@@ -50,7 +50,7 @@ func (s *SP) layout() {
 
 // Name implements Workload.
 func (s *SP) Name() string {
-	return fmt.Sprintf("SP(%d^3,%dx%d)", s.Problem, s.sq, s.sq)
+	return fmt.Sprintf("SP(%d^3,it=%d,%dx%d)", s.Problem, s.NIter, s.sq, s.sq)
 }
 
 // Procs implements Workload.

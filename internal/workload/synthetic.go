@@ -34,8 +34,14 @@ func NewSynthetic(n, iters int) *Synthetic {
 	}
 }
 
-// Name implements Workload.
-func (s *Synthetic) Name() string { return fmt.Sprintf("Synthetic(n=%d,iters=%d)", s.N, s.Iters) }
+// Name implements Workload. It encodes every knob that shapes the
+// communication pattern, because trace-derived group formations are cached
+// by workload name: two configurations with different traffic must never
+// collide.
+func (s *Synthetic) Name() string {
+	return fmt.Sprintf("Synthetic(n=%d,iters=%d,ring=%d,x%d@%d,f=%g,img=%d)",
+		s.N, s.Iters, s.RingBytes, s.CrossByte, s.CrossEach, s.Flops, s.Image)
+}
 
 // Procs implements Workload.
 func (s *Synthetic) Procs() int { return s.N }

@@ -4,7 +4,7 @@
 GO ?= go
 SHORT_SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)
 
-.PHONY: build test race bench bench-json smoke lint ci
+.PHONY: build test race bench bench-json bench-diff fuzz-smoke smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,20 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -commit $(SHORT_SHA) > BENCH_$(SHORT_SHA).json; \
 	echo wrote BENCH_$(SHORT_SHA).json
 
+# Compare the fresh BENCH_<sha>.json against the committed baseline and
+# flag >20% wall-clock regressions on the scenario/kernel benchmarks. CI
+# runs this as a non-blocking trend check (shared-runner timings are noisy);
+# regenerate the baseline with `make bench-json && cp BENCH_<sha>.json
+# bench-baseline.json` after an intentional performance change.
+bench-diff: bench-json
+	$(GO) run ./cmd/benchdiff -baseline bench-baseline.json \
+		-current BENCH_$(SHORT_SHA).json
+
+# A short native-fuzzing smoke run over the scenario spec parser: enough
+# executions to catch parser/validator drift, fast enough for every CI run.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/scenario
+
 # End-to-end CLI smoke: one figure reproduction, then the shipped example
 # scenario diffed against its golden table. The scenario engine guarantees
 # byte-identical output at any worker count, so the diff is exact.
@@ -57,4 +71,4 @@ lint:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: lint build race bench smoke
+ci: lint build race bench smoke fuzz-smoke

@@ -1,0 +1,136 @@
+// benchdiff compares a fresh benchmark report (cmd/benchjson output)
+// against a committed baseline and flags wall-clock regressions on the
+// benchmarks that guard the simulator's hot paths — the scenario-scale and
+// sim-kernel benchmarks. It prints one line per compared benchmark and
+// exits non-zero if any regression exceeds the threshold, so CI can run it
+// as a non-blocking trend check (`make bench-diff`).
+//
+// Usage:
+//
+//	benchdiff -baseline bench-baseline.json -current BENCH_abc123.json
+//	benchdiff -baseline old.json -current new.json -threshold 0.5 -match '.*'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+// Benchmark mirrors cmd/benchjson's per-benchmark record.
+type Benchmark struct {
+	Pkg     string             `json:"pkg,omitempty"`
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"nsPerOp,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report mirrors cmd/benchjson's document.
+type Report struct {
+	Commit     string      `json:"commit,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// defaultMatch selects the benchmarks whose wall clock the refactors of the
+// simulation hot path are accountable for.
+const defaultMatch = `^Benchmark(Scenario|Kernel|EventHeap|SendPath)`
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "bench-baseline.json", "committed baseline report")
+		current   = flag.String("current", "", "fresh report to compare (required)")
+		threshold = flag.Float64("threshold", 0.20, "flag regressions above this fraction (0.20 = +20% ns/op)")
+		match     = flag.String("match", defaultMatch, "regexp selecting benchmark names to compare")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fatal(err)
+	}
+
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Pkg+"/"+b.Name] = b
+	}
+
+	curBy := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		curBy[b.Pkg+"/"+b.Name] = true
+	}
+
+	regressions := 0
+	compared := 0
+	// Guarded benchmarks that vanished from the fresh report are lost
+	// coverage, not a pass — flag them like regressions.
+	for _, b := range base.Benchmarks {
+		if re.MatchString(b.Name) && !curBy[b.Pkg+"/"+b.Name] {
+			fmt.Printf("GONE  %-50s %14.0f ns/op in baseline, absent from current report\n",
+				b.Name, b.NsPerOp)
+			regressions++
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		old, ok := baseBy[b.Pkg+"/"+b.Name]
+		if !ok || old.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			fmt.Printf("NEW   %-50s %14.0f ns/op (no baseline)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		compared++
+		delta := b.NsPerOp/old.NsPerOp - 1
+		tag := "ok   "
+		if delta > *threshold {
+			tag = "SLOW "
+			regressions++
+		} else if delta < -*threshold {
+			tag = "fast "
+		}
+		fmt.Printf("%s %-50s %14.0f -> %14.0f ns/op  %+6.1f%%\n",
+			tag, b.Name, old.NsPerOp, b.NsPerOp, delta*100)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks matched %q in both reports\n", *match)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% or went missing vs %s (commit %s)\n",
+			regressions, *threshold*100, *baseline, base.Commit)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% of baseline (commit %s)\n",
+		compared, *threshold*100, base.Commit)
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	r := &Report{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

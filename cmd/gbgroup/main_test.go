@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/group"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestMain lets the test binary re-exec itself as the real CLI (the same
+// pattern as cmd/gbexp).
+func TestMain(m *testing.M) {
+	if os.Getenv("GBGROUP_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GBGROUP_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// writeTrace produces a 4-rank trace with two heavy pairs: (0,1) and (2,3).
+func writeTrace(t *testing.T, path string) {
+	t.Helper()
+	var recs []trace.Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs,
+			trace.Record{T: sim.Time(i), Src: 0, Dst: 1, Tag: 1, Bytes: 1000},
+			trace.Record{T: sim.Time(i), Src: 2, Dst: 3, Tag: 1, Bytes: 1000},
+		)
+	}
+	recs = append(recs, trace.Record{T: 100, Src: 1, Dst: 2, Tag: 1, Bytes: 10})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupProducesValidFormation(t *testing.T) {
+	dir := t.TempDir()
+	in := dir + "/t.trace"
+	out := dir + "/t.groups"
+	writeTrace(t, in)
+	cliOut, err := runCLI(t, "-n", "4", "-max", "2", "-i", in, "-o", out)
+	if err != nil {
+		t.Fatalf("gbgroup failed: %v\n%s", err, cliOut)
+	}
+	if !strings.Contains(cliOut, "2 groups") {
+		t.Errorf("summary does not report 2 groups:\n%s", cliOut)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	form, err := group.ReadFrom(f, 4)
+	if err != nil {
+		t.Fatalf("group file unparsable: %v", err)
+	}
+	if !form.SameGroup(0, 1) || !form.SameGroup(2, 3) || form.SameGroup(1, 2) {
+		t.Errorf("formation %v, want {0,1} and {2,3}", form.Groups)
+	}
+}
+
+func TestGroupRequiresN(t *testing.T) {
+	out, err := runCLI(t)
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("missing -n did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+	if !strings.Contains(out, "-n is required") {
+		t.Errorf("error does not explain -n:\n%s", out)
+	}
+}
+
+func TestGroupBadTraceExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	in := dir + "/bad.trace"
+	if err := os.WriteFile(in, []byte("not a trace line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-n", "4", "-i", in)
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("bad trace did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+}

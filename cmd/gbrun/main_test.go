@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary re-exec itself as the real CLI, so output
+// and exit codes can be asserted without a separate build step (the same
+// pattern as cmd/gbexp).
+func TestMain(m *testing.M) {
+	if os.Getenv("GBRUN_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GBRUN_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestRunReportsCheckpointAndRestart(t *testing.T) {
+	out, err := runCLI(t,
+		"-workload", "synthetic", "-procs", "4", "-mode", "GP1",
+		"-at", "2", "-restart")
+	if err != nil {
+		t.Fatalf("gbrun failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"mode            GP1",
+		"execution time",
+		"checkpoints     1 epochs, 4 rank-checkpoints",
+		"restart",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownWorkloadExitsNonZero(t *testing.T) {
+	out, err := runCLI(t, "-workload", "nope")
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("unknown workload did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+	if !strings.Contains(out, `unknown workload "nope"`) {
+		t.Errorf("error does not name the bad workload:\n%s", out)
+	}
+}
+
+func TestRunUnknownModeExitsNonZero(t *testing.T) {
+	out, err := runCLI(t, "-workload", "synthetic", "-procs", "4", "-mode", "XX")
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("unknown mode did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+	if !strings.Contains(out, "unknown mode") {
+		t.Errorf("error does not flag the mode:\n%s", out)
+	}
+}
+
+func TestRunGroupFileOverride(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/g.groups"
+	// Two fixed groups of two over 4 ranks.
+	if err := os.WriteFile(path, []byte("0 1\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t,
+		"-workload", "synthetic", "-procs", "4", "-mode", "GP",
+		"-groups", path, "-at", "2")
+	if err != nil {
+		t.Fatalf("gbrun -groups failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "groups from "+path) {
+		t.Errorf("report does not mention the group file:\n%s", out)
+	}
+}

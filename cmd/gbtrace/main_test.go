@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestMain lets the test binary re-exec itself as the real CLI (the same
+// pattern as cmd/gbexp).
+func TestMain(m *testing.M) {
+	if os.Getenv("GBTRACE_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GBTRACE_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestTraceWritesParsableRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/synth.trace"
+	out, err := runCLI(t, "-workload", "synthetic", "-procs", "4", "-o", path)
+	if err != nil {
+		t.Fatalf("gbtrace failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "4 ranks") {
+		t.Errorf("summary missing rank count:\n%s", out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("trace file unparsable: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Every send eventually delivers in a completed run.
+	var sends, delivers int
+	for _, r := range recs {
+		if r.Deliver {
+			delivers++
+		} else {
+			sends++
+		}
+	}
+	if sends == 0 || sends != delivers {
+		t.Errorf("sends=%d delivers=%d, want equal and non-zero", sends, delivers)
+	}
+}
+
+func TestTraceUnknownWorkloadExitsNonZero(t *testing.T) {
+	out, err := runCLI(t, "-workload", "bogus")
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("unknown workload did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+	if !strings.Contains(out, `unknown workload "bogus"`) {
+		t.Errorf("error does not name the workload:\n%s", out)
+	}
+}

@@ -8,11 +8,15 @@
 // cost growth, non-blocking checkpoints turning blocking, log replay on
 // restart — reproduce on a laptop:
 //
-//	internal/sim       discrete-event kernel (virtual time, process goroutines)
+//	internal/sim       discrete-event kernel (direct-handoff scheduling:
+//	                   the blocking process runs the event loop and hands
+//	                   control straight to the next process's goroutine)
 //	internal/cluster   nodes, NICs, disks, network, checkpoint servers, OS noise
-//	internal/mpi       MPI-like ranks: p2p, collectives, freeze gates, hooks
-//	internal/trace     communication tracer, timelines, gap analysis
-//	internal/group     paper Algorithm 2 (trace-driven group formation)
+//	internal/mpi       MPI-like ranks: p2p, collectives, freeze gates, hooks;
+//	                   pooled message envelopes and sparse per-peer channels
+//	internal/trace     Recorder (full records: timelines, gap analysis) and
+//	                   CommMatrix (streaming pairwise aggregation)
+//	internal/group     paper Algorithm 2 (trace- or matrix-driven formation)
 //	internal/mlog      sender-based message logs, piggybacked GC, replay plans
 //	internal/ckpt      checkpoint records, stage breakdowns, snapshots
 //	internal/core      paper Algorithm 1: the group-based C/R engine, the
@@ -21,7 +25,8 @@
 //	internal/failure   failure injection and group-vs-global recovery
 //	internal/harness   the paper's experiments (Figures 1–14, Table 1)
 //	internal/runner    parallel experiment engine: worker pool + memoization
-//	internal/scenario  declarative JSON experiment specs (gbexp -scenario)
+//	internal/scenario  declarative JSON experiment specs (gbexp -scenario);
+//	                   built-in profiles up to 16384 ranks (scale16k)
 //
 // Experiments hand their run matrix (scales × modes × repetitions) to
 // internal/runner, which fans the independent, deterministically seeded

@@ -27,17 +27,18 @@ func main() {
 	wl := workload.CGClassC(n)
 	wl.NA, wl.NIter = 30000, 60 // shrunk for a fast example
 
-	// Form groups from a trace (the CG grid rows merge).
+	// Form groups from the streaming communication matrix (the CG grid
+	// rows merge).
 	k0 := sim.NewKernel(1)
 	c0 := cluster.New(k0, n, cluster.Gideon())
 	w0 := mpi.NewWorld(k0, c0, n)
-	rec := &trace.Recorder{}
-	w0.Tracer = rec
+	m := trace.NewCommMatrix()
+	w0.Tracer = m
 	w0.Launch(wl.Body)
 	if err := k0.Run(); err != nil {
 		log.Fatal(err)
 	}
-	f := group.FromTrace(rec.Records, n, group.DefaultMaxSize(n))
+	f := group.FromMatrix(m, n, group.DefaultMaxSize(n))
 	fmt.Printf("CG groups from trace: %v\n", f.Groups)
 
 	ckptAt := 4 * sim.Second

@@ -30,20 +30,21 @@ func main() {
 	// the paper-scale N=20000 version.
 	wl := workload.NewHPL(5760, 32)
 
-	// Step 1: trace.
+	// Step 1: trace with the streaming matrix — formation needs only the
+	// pair aggregates, so nothing per-message is buffered.
 	k := sim.NewKernel(1)
 	c := cluster.New(k, 32, cluster.Gideon())
 	w := mpi.NewWorld(k, c, 32)
-	rec := &trace.Recorder{}
-	w.Tracer = rec
+	m := trace.NewCommMatrix()
+	w.Tracer = m
 	w.Launch(wl.Body)
 	if err := k.Run(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("traced %s: %d send records\n", wl.Name(), len(rec.Sends()))
+	fmt.Printf("traced %s: %d send records\n", wl.Name(), m.Sends())
 
 	// Step 2: Algorithm 2 with G=P=8.
-	f := group.FromTrace(rec.Records, 32, wl.P)
+	f := group.FromMatrix(m, 32, wl.P)
 	fmt.Println("group formation (paper Table 1):")
 	for i, g := range f.Groups {
 		fmt.Printf("  group %d: %v\n", i+1, g)

@@ -332,19 +332,20 @@ func (e *Engine) checkpoint(st *rankState, p *sim.Proc, epoch, replyTo int) {
 		SentTo:     map[int]int64{},
 		RecvdFrom:  map[int]int64{},
 	}
-	for q := 0; q < e.w.N; q++ {
+	// Only peers this rank actually exchanged traffic with matter; the
+	// sparse scan keeps a 16384-rank epoch from costing n² channel probes.
+	r.ForEachPeer(func(q int, sent, recvd int64) {
 		if q == r.ID || e.cfg.Formation.SameGroup(r.ID, q) {
-			continue
+			return
 		}
-		sent, recvd := r.SentBytes(q), r.AppRecvdBytes(q)
 		if sent == 0 && recvd == 0 {
-			continue
+			return
 		}
 		st.rr[q] = recvd
 		st.needPB[q] = true
 		snap.SentTo[q] = sent
 		snap.RecvdFrom[q] = recvd
-	}
+	})
 	tCoord := p.Now()
 
 	// Stage 3 — Checkpoint: write the image.

@@ -13,18 +13,7 @@ import (
 // of messages linking up all the processes" — is directly observable with
 // this function on any connected communication graph.
 func Dynamic(records []trace.Record, n int) Formation {
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var findRoot func(int) int
-	findRoot = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
+	u := newUnion(n)
 	for _, rec := range records {
 		if rec.Deliver || rec.Src == rec.Dst {
 			continue
@@ -32,14 +21,64 @@ func Dynamic(records []trace.Record, n int) Formation {
 		if rec.Src >= n || rec.Dst >= n || rec.Src < 0 || rec.Dst < 0 {
 			continue
 		}
-		a, b := findRoot(rec.Src), findRoot(rec.Dst)
-		if a != b {
-			parent[b] = a
-		}
+		u.merge(rec.Src, rec.Dst)
 	}
+	return u.formation()
+}
+
+// DynamicFromMatrix is Dynamic consuming a streaming communication matrix:
+// merge-on-message depends only on which pairs communicated, so the matrix
+// carries everything the scheme needs and the result is identical to
+// Dynamic over the records the matrix folded in.
+func DynamicFromMatrix(m *trace.CommMatrix, n int) Formation {
+	return DynamicFromPairs(m.Pairs(), n)
+}
+
+// DynamicFromPairs applies the merge-on-message scheme to aggregated pair
+// volumes.
+func DynamicFromPairs(pairs []trace.PairStat, n int) Formation {
+	u := newUnion(n)
+	for _, pr := range pairs {
+		if pr.A == pr.B || pr.A < 0 || pr.B < 0 || pr.A >= n || pr.B >= n {
+			continue
+		}
+		u.merge(pr.A, pr.B)
+	}
+	return u.formation()
+}
+
+// union is a union-find over ranks 0..n-1 with path halving.
+type union struct{ parent []int }
+
+func newUnion(n int) *union {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	return &union{parent: parent}
+}
+
+func (u *union) root(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *union) merge(a, b int) {
+	ra, rb := u.root(a), u.root(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}
+
+// formation groups ranks by connected component.
+func (u *union) formation() Formation {
+	n := len(u.parent)
 	byRoot := map[int][]int{}
 	for r := 0; r < n; r++ {
-		root := findRoot(r)
+		root := u.root(r)
 		byRoot[root] = append(byRoot[root], r)
 	}
 	var groups [][]int

@@ -267,3 +267,10 @@ func unionSize(a, b []int) int {
 func FromTrace(records []trace.Record, n, maxSize int) Formation {
 	return FromPairs(trace.Aggregate(records), n, maxSize)
 }
+
+// FromMatrix runs Algorithm 2 on a streaming communication matrix. The
+// result is identical to FromTrace over the records the matrix folded in,
+// without ever materializing them.
+func FromMatrix(m *trace.CommMatrix, n, maxSize int) Formation {
+	return FromPairs(m.Pairs(), n, maxSize)
+}

@@ -58,8 +58,16 @@ type Spec struct {
 	// configuration in Section 5.3); VCL always streams synchronously.
 	RemoteAsync bool
 
-	// Trace attaches the communication tracer to the run.
+	// Trace attaches the full record tracer to the run. Memory scales
+	// with message count; needed only for timeline/gap analyses and trace
+	// files (Result.Trace).
 	Trace bool
+
+	// Comm attaches the streaming CommMatrix tracer to the run
+	// (Result.Comm): pairwise bytes/counts aggregated online, memory
+	// bounded by communicating pairs, usable at any scale. Trace and Comm
+	// compose (a Tee observes for both).
+	Comm bool
 
 	// GroupMax bounds GP's trace-derived group size (0 = ⌈√n⌉).
 	GroupMax int
@@ -91,6 +99,7 @@ type Result struct {
 	Epochs    int
 	Spans     []core.Span
 	Trace     []trace.Record
+	Comm      *trace.CommMatrix
 	Events    uint64
 
 	// Failures holds the injected-failure evaluations, in arrival order,
@@ -126,9 +135,20 @@ func Run(spec Spec) (*Result, error) {
 	w := mpi.NewWorld(k, c, n)
 
 	var rec *trace.Recorder
+	var comm *trace.CommMatrix
 	if spec.Trace {
 		rec = &trace.Recorder{}
+	}
+	if spec.Comm {
+		comm = trace.NewCommMatrix()
+	}
+	switch {
+	case rec != nil && comm != nil:
+		w.Tracer = trace.Tee{rec, comm}
+	case rec != nil:
 		w.Tracer = rec
+	case comm != nil:
+		w.Tracer = comm
 	}
 	var store cluster.Storage = cluster.LocalDisk{}
 	if spec.RemoteServers > 0 {
@@ -217,6 +237,7 @@ func Run(spec Spec) (*Result, error) {
 	if rec != nil {
 		res.Trace = rec.Records
 	}
+	res.Comm = comm
 	res.Events = k.Events()
 	return res, nil
 }
@@ -259,10 +280,12 @@ func formationFor(spec Spec) (group.Formation, error) {
 
 var formationCache runner.Memo[group.Formation]
 
-// tracedFormation runs the workload once with the tracer (no checkpoints)
-// and feeds the trace to Algorithm 2. Results are cached per workload
-// configuration; concurrent runs that need the same formation share one
-// tracing pass, while distinct configurations trace in parallel.
+// tracedFormation runs the workload once with the streaming CommMatrix
+// tracer (no checkpoints) and feeds the matrix to Algorithm 2, so the
+// tracing pass's memory is bounded by communicating pairs rather than
+// message count. Results are cached per workload configuration; concurrent
+// runs that need the same formation share one tracing pass, while distinct
+// configurations trace in parallel.
 func tracedFormation(spec Spec) (group.Formation, error) {
 	n := spec.WL.Procs()
 	max := spec.GroupMax
@@ -281,13 +304,13 @@ func tracedFormation(spec Spec) (group.Formation, error) {
 		cfg.DaemonEvery = 0
 		c := cluster.New(k, n, cfg)
 		w := mpi.NewWorld(k, c, n)
-		rec := &trace.Recorder{}
-		w.Tracer = rec
+		m := trace.NewCommMatrix()
+		w.Tracer = m
 		w.Launch(spec.WL.Body)
 		if err := k.Run(); err != nil {
 			return group.Formation{}, fmt.Errorf("harness: tracing pass for %s: %w", key, err)
 		}
-		f := group.FromTrace(rec.Records, n, max)
+		f := group.FromMatrix(m, n, max)
 		if err := f.Validate(); err != nil {
 			return group.Formation{}, fmt.Errorf("harness: formation for %s: %w", key, err)
 		}

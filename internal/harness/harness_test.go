@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/group"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -296,5 +297,56 @@ func TestFig2Quick(t *testing.T) {
 	}
 	if len(r.Timelines) == 0 {
 		t.Error("no timelines rendered")
+	}
+}
+
+// TestCommMatrixThroughRun exercises Spec.Comm: a run with the streaming
+// matrix attached exposes Result.Comm, composes with Spec.Trace via a Tee
+// (both observers see the same traffic), and derives the same formation as
+// the full record trace.
+func TestCommMatrixThroughRun(t *testing.T) {
+	spec := Spec{
+		WL: workload.NewSynthetic(8, 30), Mode: GP1, Seed: 3,
+		Sched: Schedule{At: 2 * sim.Second},
+		Trace: true, Comm: true,
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm == nil {
+		t.Fatal("Spec.Comm set but Result.Comm nil")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("Spec.Trace set but Result.Trace empty")
+	}
+	var sends int
+	var bytes int64
+	for _, r := range res.Trace {
+		if !r.Deliver && r.Src != r.Dst {
+			sends++
+			bytes += r.Bytes
+		}
+	}
+	if res.Comm.Sends() != sends || res.Comm.TotalBytes() != bytes {
+		t.Errorf("matrix saw %d sends/%d bytes, recorder saw %d/%d",
+			res.Comm.Sends(), res.Comm.TotalBytes(), sends, bytes)
+	}
+	fm, ft := group.FromMatrix(res.Comm, res.N, 0), group.FromTrace(res.Trace, res.N, 0)
+	if fm.String() != ft.String() {
+		t.Errorf("matrix formation %q != trace formation %q", fm.String(), ft.String())
+	}
+
+	// Comm alone: no record buffering, matrix identical.
+	spec.Trace = false
+	only, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only.Trace) != 0 {
+		t.Error("Trace records buffered without Spec.Trace")
+	}
+	if only.Comm == nil || only.Comm.Sends() != sends {
+		t.Errorf("comm-only run folded %v sends, want %d", only.Comm, sends)
 	}
 }

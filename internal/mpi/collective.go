@@ -38,7 +38,7 @@ func (r *Rank) Barrier(group []int, op int) {
 		to := group[(me+k)%n]
 		from := group[(me-k+n)%n]
 		r.Send(to, collTag(op, round), barrierBytes, nil)
-		r.Recv(from, collTag(op, round))
+		r.recvFree(from, collTag(op, round))
 	}
 }
 
@@ -61,7 +61,7 @@ func (r *Rank) Bcast(root int, group []int, op int, bytes int64) {
 	for mask < n {
 		if vrank&mask != 0 {
 			parent := (vrank - mask + rootIdx) % n
-			r.Recv(group[parent], collTag(op, 0))
+			r.recvFree(group[parent], collTag(op, 0))
 			break
 		}
 		mask <<= 1
@@ -99,7 +99,7 @@ func (r *Rank) Reduce(root int, group []int, op int, bytes int64) {
 		// Receive from child if it exists.
 		child := vrank + mask
 		if child < n {
-			r.Recv(group[(child+rootIdx)%n], collTag(op, 1))
+			r.recvFree(group[(child+rootIdx)%n], collTag(op, 1))
 		}
 		mask <<= 1
 	}
@@ -130,7 +130,7 @@ func (r *Rank) RingBcast(root int, group []int, op int, bytes int64) {
 	}
 	vrank := (me - rootIdx + n) % n
 	if vrank != 0 {
-		r.Recv(group[(me-1+n)%n], collTag(op, 2))
+		r.recvFree(group[(me-1+n)%n], collTag(op, 2))
 	}
 	if vrank != n-1 {
 		r.Send(group[(me+1)%n], collTag(op, 2), bytes, nil)
@@ -168,7 +168,7 @@ func (r *Rank) RingBcastPipelined(root int, group []int, op int, bytes int64, ch
 			sz = bytes - chunk*int64(chunks-1)
 		}
 		if vrank != 0 {
-			r.Recv(group[(me-1+n)%n], collTag(op, 3+c))
+			r.recvFree(group[(me-1+n)%n], collTag(op, 3+c))
 		}
 		if vrank != n-1 {
 			r.Send(group[(me+1)%n], collTag(op, 3+c), sz, nil)

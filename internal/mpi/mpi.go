@@ -14,6 +14,12 @@
 //   - a control plane (CtrlSend/CtrlRecv) for protocol daemons that
 //     bypasses hooks, gates, and application counters but still pays
 //     network costs.
+//
+// The send path is allocation-free in steady state: message envelopes are
+// recycled through a per-world free list once their receiver consumes them
+// (collectives and Sendrecv recycle implicitly; Recv hands ownership to the
+// application), and deliveries are scheduled through a single pre-bound
+// kernel callback instead of a fresh closure per message.
 package mpi
 
 import (
@@ -24,7 +30,7 @@ import (
 )
 
 // AnySource matches a message from any sender in Recv.
-const AnySource = -1
+const AnySource = sim.AnyKey
 
 // Tag bases. Application workloads use small non-negative tags; collectives
 // and the control plane use reserved ranges so they never cross-match.
@@ -35,6 +41,10 @@ const (
 
 // Msg is a message envelope. Payload is optional structured data (used by
 // control messages and tests); Bytes is what the network model charges.
+//
+// Application envelopes are pooled: an envelope obtained from Recv is owned
+// by the caller until it is returned to the pool with World.Free (or until
+// the world is dropped). Never retain an envelope after freeing it.
 type Msg struct {
 	Src, Dst, Tag int
 	Bytes         int64
@@ -59,7 +69,8 @@ type Hooks interface {
 	OnDeliver(dst *Rank, m *Msg)
 }
 
-// Tracer is implemented by the trace recorder.
+// Tracer is implemented by trace observers (trace.Recorder for full
+// per-record traces, trace.CommMatrix for streaming pair aggregation).
 type Tracer interface {
 	Send(t sim.Time, src, dst, tag int, bytes int64)
 	Deliver(t sim.Time, src, dst, tag int, bytes int64)
@@ -78,6 +89,14 @@ type World struct {
 	// of computation between freeze-point checks. Smaller values make
 	// checkpoints lock faster but cost more simulation events.
 	SliceSeconds float64
+
+	// freeMsgs is the envelope free list. The kernel runs one process at
+	// a time, so no locking is needed; parallel sweeps use one world per
+	// run.
+	freeMsgs []*Msg
+	// arrive is the pre-bound delivery handler passed to sim.Kernel.At1,
+	// built once so the per-message schedule allocates nothing.
+	arrive func(any)
 }
 
 // NewWorld creates a world of n ranks, one per cluster node.
@@ -86,6 +105,7 @@ func NewWorld(k *sim.Kernel, c *cluster.Cluster, n int) *World {
 		panic("mpi: more ranks than cluster nodes")
 	}
 	w := &World{K: k, C: c, N: n, SliceSeconds: 0.25}
+	w.arrive = func(v any) { w.deliverArrived(v.(*Msg)) }
 	for i := 0; i < n; i++ {
 		r := &Rank{
 			W:        w,
@@ -95,13 +115,29 @@ func NewWorld(k *sim.Kernel, c *cluster.Cluster, n int) *World {
 			ctrl:     sim.NewMailbox(k, fmt.Sprintf("ctrl%d", i)),
 			Gate:     sim.NewGate(k, fmt.Sprintf("gate%d", i)),
 			SendGate: sim.NewGate(k, fmt.Sprintf("sendgate%d", i)),
-			sent:     make([]int64, n),
-			recvd:    make([]*sim.Counter, n),
-			appRecvd: make([]int64, n),
 		}
 		w.Ranks = append(w.Ranks, r)
 	}
 	return w
+}
+
+// newMsg returns a zeroed envelope from the free list (or the heap).
+func (w *World) newMsg() *Msg {
+	if n := len(w.freeMsgs); n > 0 {
+		m := w.freeMsgs[n-1]
+		w.freeMsgs[n-1] = nil
+		w.freeMsgs = w.freeMsgs[:n-1]
+		return m
+	}
+	return new(Msg)
+}
+
+// Free returns an envelope to the world's pool. The caller must hold the
+// only live reference: the envelope's fields (including Payload and PB) are
+// cleared and the memory is reused by a future Send.
+func (w *World) Free(m *Msg) {
+	*m = Msg{}
+	w.freeMsgs = append(w.freeMsgs, m)
 }
 
 // Launch spawns one application process per rank running body and records
@@ -118,6 +154,11 @@ func (w *World) Launch(body func(r *Rank)) {
 }
 
 // Rank is one MPI process.
+//
+// Per-peer transport state is sparse: a world of n ranks has n² potential
+// channels, but real workloads touch only a few peers per rank, and eager
+// per-peer arrays are what used to cap worlds at a few thousand ranks
+// (16384 ranks would mean 800M array slots before the first event fires).
 type Rank struct {
 	W    *World
 	ID   int
@@ -132,9 +173,9 @@ type Rank struct {
 
 	mbox     *sim.Mailbox
 	ctrl     *sim.Mailbox
-	sent     []int64        // transport bytes sent to each peer (app traffic)
-	recvd    []*sim.Counter // transport bytes received from each peer
-	appRecvd []int64        // bytes the application has consumed per peer
+	sent     map[int]int64        // transport bytes sent to each peer (app traffic)
+	recvd    map[int]*sim.Counter // transport bytes received from each peer
+	appRecvd map[int]int64        // bytes the application has consumed per peer
 
 	FinishTime sim.Time
 	Finished   bool
@@ -147,17 +188,27 @@ type Rank struct {
 // network toward dst (including in-flight bytes).
 func (r *Rank) SentBytes(dst int) int64 { return r.sent[dst] }
 
+// addSent accumulates transport bytes toward dst, allocating the sparse map
+// on first use.
+func (r *Rank) addSent(dst int, b int64) {
+	if r.sent == nil {
+		r.sent = make(map[int]int64, 8)
+	}
+	r.sent[dst] += b
+}
+
 // RecvdCounter returns the transport-level received-bytes counter for
 // messages from src. Protocols drain channels by awaiting it.
 //
-// Counters are allocated on first use: a world of n ranks has n² potential
-// channels, but real workloads touch only a few peers per rank, and eager
-// allocation is what used to cap worlds at a few hundred ranks (4096 ranks
-// would mean 16.7M counters before the first event fires).
+// Counters are allocated on first use (see Rank's doc comment on sparse
+// per-peer state).
 func (r *Rank) RecvdCounter(src int) *sim.Counter {
 	c := r.recvd[src]
 	if c == nil {
 		c = sim.NewCounter(r.W.K, fmt.Sprintf("rx%d<-%d", r.ID, src))
+		if r.recvd == nil {
+			r.recvd = make(map[int]*sim.Counter, 8)
+		}
 		r.recvd[src] = c
 	}
 	return c
@@ -177,6 +228,29 @@ func (r *Rank) RecvdBytes(src int) int64 {
 // stops consuming, so in-flight and buffered messages at a checkpoint are
 // not covered by the checkpoint and must be replayed on restart.
 func (r *Rank) AppRecvdBytes(src int) int64 { return r.appRecvd[src] }
+
+// addAppRecvd accumulates application-consumed bytes from src.
+func (r *Rank) addAppRecvd(src int, b int64) {
+	if r.appRecvd == nil {
+		r.appRecvd = make(map[int]int64, 8)
+	}
+	r.appRecvd[src] += b
+}
+
+// ForEachPeer calls f for every peer this rank has exchanged application
+// traffic with (sent or consumed bytes non-zero), in unspecified order.
+// Checkpoint protocols use it to record per-peer cuts without scanning all
+// n potential channels.
+func (r *Rank) ForEachPeer(f func(peer int, sent, appRecvd int64)) {
+	for q, s := range r.sent {
+		f(q, s, r.appRecvd[q])
+	}
+	for q, v := range r.appRecvd {
+		if _, dup := r.sent[q]; !dup {
+			f(q, 0, v)
+		}
+	}
+}
 
 // Now returns the current virtual time.
 func (r *Rank) Now() sim.Time { return r.W.K.Now() }

@@ -5,16 +5,15 @@ import "repro/internal/sim"
 // Send transmits an application message of size bytes to rank dst with the
 // given tag, blocking the caller for the sender-side cost (freeze gates,
 // logging delay, NIC serialization). Delivery happens asynchronously at the
-// network-model arrival time.
+// network-model arrival time. The envelope comes from the world's pool.
 func (r *Rank) Send(dst, tag int, bytes int64, payload any) {
 	p := r.Proc
 	r.Gate.Pass(p)
 	r.SendGate.Pass(p)
-	m := &Msg{
-		Src: r.ID, Dst: dst, Tag: tag,
-		Bytes: bytes, Payload: payload,
-		SendTime: r.Now(),
-	}
+	m := r.W.newMsg()
+	m.Src, m.Dst, m.Tag = r.ID, dst, tag
+	m.Bytes, m.Payload = bytes, payload
+	m.SendTime = r.Now()
 	if h := r.W.Hooks; h != nil {
 		if extra := h.BeforeSend(r, m); extra > 0 {
 			p.Hold(extra)
@@ -23,28 +22,35 @@ func (r *Rank) Send(dst, tag int, bytes int64, payload any) {
 	if tr := r.W.Tracer; tr != nil {
 		tr.Send(r.Now(), m.Src, m.Dst, m.Tag, m.Bytes)
 	}
-	r.sent[dst] += bytes
+	r.addSent(dst, bytes)
 	r.deliver(p, m)
 }
 
-// deliver pushes m through the network and schedules its arrival.
+// deliver pushes m through the network and schedules its arrival via the
+// world's pre-bound handler (no per-message closure).
 func (r *Rank) deliver(p *sim.Proc, m *Msg) {
 	w := r.W
 	d := w.Ranks[m.Dst]
 	arr := w.C.Transfer(p, r.Node, d.Node, m.Bytes)
-	w.K.At(arr, func() {
-		m.ArriveTime = w.K.Now()
-		if !m.Ctrl {
-			d.RecvdCounter(m.Src).Add(m.Bytes)
-			if h := w.Hooks; h != nil {
-				h.OnDeliver(d, m)
-			}
-			if tr := w.Tracer; tr != nil {
-				tr.Deliver(m.ArriveTime, m.Src, m.Dst, m.Tag, m.Bytes)
-			}
+	w.K.At1(arr, w.arrive, m)
+}
+
+// deliverArrived runs in kernel context at the message's arrival time: it
+// updates transport counters, runs protocol hooks and tracers, and queues
+// the message for the application.
+func (w *World) deliverArrived(m *Msg) {
+	d := w.Ranks[m.Dst]
+	m.ArriveTime = w.K.Now()
+	if !m.Ctrl {
+		d.RecvdCounter(m.Src).Add(m.Bytes)
+		if h := w.Hooks; h != nil {
+			h.OnDeliver(d, m)
 		}
-		d.mailboxFor(m).Put(m)
-	})
+		if tr := w.Tracer; tr != nil {
+			tr.Deliver(m.ArriveTime, m.Src, m.Dst, m.Tag, m.Bytes)
+		}
+	}
+	d.mailboxFor(m).PutKeyed(m, m.Src, m.Tag)
 }
 
 func (d *Rank) mailboxFor(m *Msg) *sim.Mailbox {
@@ -54,31 +60,35 @@ func (d *Rank) mailboxFor(m *Msg) *sim.Mailbox {
 	return d.mbox
 }
 
-func match(src, tag int) func(any) bool {
-	return func(v any) bool {
-		m := v.(*Msg)
-		return (src == AnySource || m.Src == src) && m.Tag == tag
-	}
-}
-
 // Recv blocks until an application message from src (or AnySource) with the
 // given tag arrives, and returns it. If the rank is frozen when the message
 // completes, the application parks at the freeze gate before consuming it —
 // the message is delivered (it is part of the checkpointed state) but the
 // application makes no further progress until the checkpoint finishes.
+//
+// The returned envelope is owned by the caller; return it to the pool with
+// World.Free once consumed, or let it become garbage.
 func (r *Rank) Recv(src, tag int) *Msg {
-	m := r.mbox.Recv(r.Proc, match(src, tag)).(*Msg)
+	m := r.mbox.RecvKeyed(r.Proc, src, tag).(*Msg)
 	r.Gate.Pass(r.Proc)
-	r.appRecvd[m.Src] += m.Bytes
+	r.addAppRecvd(m.Src, m.Bytes)
 	return m
+}
+
+// recvFree receives a message and immediately recycles its envelope — for
+// callers that need only the synchronization and accounting, not the
+// message content (collectives, Sendrecv).
+func (r *Rank) recvFree(src, tag int) {
+	r.W.Free(r.Recv(src, tag))
 }
 
 // Sendrecv exchanges messages with a partner (send to dst, receive from src)
 // without deadlocking: the send completes first (sends are asynchronous at
-// the transport level), then the receive blocks.
-func (r *Rank) Sendrecv(dst, sendTag int, bytes int64, src, recvTag int) *Msg {
+// the transport level), then the receive blocks. The received envelope is
+// recycled; use Send and Recv directly when the message content matters.
+func (r *Rank) Sendrecv(dst, sendTag int, bytes int64, src, recvTag int) {
 	r.Send(dst, sendTag, bytes, nil)
-	return r.Recv(src, recvTag)
+	r.recvFree(src, recvTag)
 }
 
 // Compute burns flops of computation in slices, checking the freeze gate at
@@ -98,7 +108,8 @@ func (r *Rank) Compute(flops float64) {
 
 // CtrlSend transmits a protocol control message from this rank's node. It
 // bypasses freeze gates, hooks, tracing, and application counters, but pays
-// full network costs. p is the calling daemon's process.
+// full network costs. p is the calling daemon's process. Control envelopes
+// are not pooled: daemons may hold them across further control traffic.
 func (r *Rank) CtrlSend(p *sim.Proc, dst, tag int, bytes int64, payload any) {
 	m := &Msg{
 		Src: r.ID, Dst: dst, Tag: tag,
@@ -111,13 +122,13 @@ func (r *Rank) CtrlSend(p *sim.Proc, dst, tag int, bytes int64, payload any) {
 // CtrlRecv blocks the daemon process p until a control message from src (or
 // AnySource) with the given tag arrives.
 func (r *Rank) CtrlRecv(p *sim.Proc, src, tag int) *Msg {
-	return r.ctrl.Recv(p, match(src, tag)).(*Msg)
+	return r.ctrl.RecvKeyed(p, src, tag).(*Msg)
 }
 
 // CtrlTryRecv returns a queued control message matching (src, tag) if one is
 // already present.
 func (r *Rank) CtrlTryRecv(src, tag int) (*Msg, bool) {
-	v, ok := r.ctrl.TryRecv(match(src, tag))
+	v, ok := r.ctrl.TryRecvKeyed(src, tag)
 	if !ok {
 		return nil, false
 	}

@@ -1,0 +1,135 @@
+package mpi
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestEnvelopePoolRecycles: after a Sendrecv consumes its reply, the next
+// send must reuse the recycled envelope rather than allocating, and the
+// reused envelope must carry only the new message's data.
+func TestEnvelopePoolRecycles(t *testing.T) {
+	k, w := testWorld(t, 1, 2)
+	var got *Msg
+	w.Launch(func(r *Rank) {
+		other := 1 - r.ID
+		// Round 1: both envelopes end up back in the pool via Sendrecv.
+		r.Sendrecv(other, 1, 1000, other, 1)
+		// Round 2: Recv keeps ownership; rank 1 inspects the envelope.
+		if r.ID == 0 {
+			r.Send(1, 2, 77, "fresh")
+		} else {
+			got = r.Recv(0, 2)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.freeMsgs) == 0 {
+		t.Error("free list empty after Sendrecv recycling")
+	}
+	if got == nil || got.Bytes != 77 || got.Payload != "fresh" || got.Tag != 2 {
+		t.Fatalf("reused envelope carries stale data: %+v", got)
+	}
+	if got.PB != nil {
+		t.Errorf("reused envelope kept a piggyback map: %+v", got.PB)
+	}
+}
+
+// TestFreeReturnsEnvelopeToPool: World.Free clears the envelope and makes
+// it available to the next Send.
+func TestFreeReturnsEnvelopeToPool(t *testing.T) {
+	k, w := testWorld(t, 1, 2)
+	var first, second *Msg
+	w.Launch(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 1, 10, nil)
+			r.Recv(1, 3) // wait for rank 1's ack before the second send
+			r.Send(1, 2, 20, nil)
+		} else {
+			first = r.Recv(0, 1)
+			r.W.Free(first)
+			r.Send(0, 3, 1, nil) // ack
+			second = r.Recv(0, 2)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second == nil || second.Bytes != 20 {
+		t.Fatalf("second message corrupt: %+v", second)
+	}
+}
+
+// TestSparsePeerStateOnlyTouchedChannels: per-peer maps must track exactly
+// the peers traffic touched, and ForEachPeer must enumerate them.
+func TestSparsePeerStateOnlyTouchedChannels(t *testing.T) {
+	const n = 8
+	k, w := testWorld(t, 1, n)
+	w.Launch(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(3, 1, 500, nil)
+		} else if r.ID == 3 {
+			r.Recv(0, 1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Ranks[0].SentBytes(3); got != 500 {
+		t.Errorf("SentBytes(3) = %d", got)
+	}
+	if got := w.Ranks[3].AppRecvdBytes(0); got != 500 {
+		t.Errorf("AppRecvdBytes(0) = %d", got)
+	}
+	peers := map[int][2]int64{}
+	w.Ranks[3].ForEachPeer(func(q int, sent, recvd int64) {
+		peers[q] = [2]int64{sent, recvd}
+	})
+	if len(peers) != 1 {
+		t.Fatalf("rank 3 peers = %v, want exactly {0}", peers)
+	}
+	if peers[0] != [2]int64{0, 500} {
+		t.Errorf("peer 0 = %v, want {0, 500}", peers[0])
+	}
+	// Untouched ranks carry no per-peer state at all.
+	if w.Ranks[5].sent != nil || w.Ranks[5].appRecvd != nil || w.Ranks[5].recvd != nil {
+		t.Error("untouched rank allocated per-peer maps")
+	}
+}
+
+// TestSendPathSteadyStateAllocs asserts the headline property directly:
+// once the pool is warm, a Sendrecv round trip performs zero heap
+// allocations.
+func TestSendPathSteadyStateAllocs(t *testing.T) {
+	k, w := testWorld(t, 1, 2)
+	const iters = 200
+	var allocs uint64
+	w.Launch(func(r *Rank) {
+		other := 1 - r.ID
+		for i := 0; i < 20; i++ { // warm the pool, counters, heap capacity
+			r.Sendrecv(other, 1, 4096, other, 1)
+		}
+		if r.ID == 0 {
+			var ms1, ms2 runtime.MemStats
+			runtime.ReadMemStats(&ms1)
+			for i := 0; i < iters; i++ {
+				r.Sendrecv(other, 1, 4096, other, 1)
+			}
+			runtime.ReadMemStats(&ms2)
+			allocs = ms2.Mallocs - ms1.Mallocs
+		} else {
+			for i := 0; i < iters; i++ {
+				r.Sendrecv(other, 1, 4096, other, 1)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Allow a little slack for runtime-internal allocation (GC assists,
+	// goroutine bookkeeping); the pre-pool path allocated ≥6 per message.
+	if perMsg := float64(allocs) / (2 * iters); perMsg > 1 {
+		t.Errorf("steady-state send path allocates %.2f objects/message, want ≈0", perMsg)
+	}
+}

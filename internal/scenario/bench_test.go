@@ -32,3 +32,20 @@ func BenchmarkScenario4096(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScenario16384 runs the scale16k built-in profile: one
+// 16384-rank cell with stochastic failures — 128× the paper's peak scale.
+// This is the ceiling the direct-handoff scheduler, the pooled message
+// path, and the sparse per-peer transport state buy: the cell completes in
+// seconds of wall clock with memory bounded by touched channels, not n².
+func BenchmarkScenario16384(b *testing.B) {
+	s, ok := BuiltIn("scale16k")
+	if !ok {
+		b.Fatal("scale16k built-in missing")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives the JSON spec parser with arbitrary input. Parse
+// must never panic, and any spec it accepts must satisfy the invariants the
+// engine relies on: it re-validates cleanly, its cluster resolves to a
+// hardware model, every (workload, scale) combination builds, and it
+// round-trips through Marshal.
+func FuzzParseSpec(f *testing.F) {
+	for _, name := range BuiltInNames() {
+		f.Add([]byte(builtins[name]))
+	}
+	f.Add([]byte(`{"workload": {"kind": "synthetic"}, "scales": [4]}`))
+	f.Add([]byte(`{"name": "x", "workload": {"kind": "hpl", "problem": 1000}, "scales": [8, 16],
+		"modes": ["VCL"], "remoteServers": 4, "checkpoint": {"atS": 1.5}}`))
+	f.Add([]byte(`{"workload": {"kind": "cg"}, "scales": [16],
+		"failures": {"process": "weibull", "mtbfS": 2, "shape": 0.5}, "groupMax": 3}`))
+	f.Add([]byte(`{"scales": [0]}`))
+	f.Add([]byte(`{"workload": {"kind": "sp"}, "scales": [9]} trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Parse returned both a spec and error %v", err)
+			}
+			return
+		}
+		// Accepted specs must be stable under re-validation…
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted spec fails re-validation: %v", err)
+		}
+		// …resolve to a cluster model…
+		if _, err := s.Cluster.Config(); err != nil {
+			t.Fatalf("accepted spec has unresolvable cluster: %v", err)
+		}
+		// …and build every workload cell without panicking. Build is where
+		// unvalidated kinds and scales would explode at sweep time.
+		for _, n := range s.Scales {
+			if n > 1<<20 {
+				continue // building a billion-rank slice is Validate's job to allow, not ours to test
+			}
+			if wl := s.Workload.Build(n); wl == nil || wl.Procs() <= 0 {
+				t.Fatalf("workload %q built nil/empty at scale %d", s.Workload.Kind, n)
+			}
+		}
+		if s.Failures != nil {
+			if p := s.Failures.process(); p == nil {
+				t.Fatal("accepted failure spec produced nil process")
+			}
+		}
+		// …and round-trip: a spec the engine accepted must re-parse to an
+		// equally valid spec.
+		out, err := s.Marshal()
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		s2, err := Parse(strings.NewReader(string(out)))
+		if err != nil {
+			t.Fatalf("marshalled spec does not re-parse: %v\n%s", err, out)
+		}
+		if s2.Name != s.Name || len(s2.Scales) != len(s.Scales) || len(s2.Modes) != len(s.Modes) {
+			t.Fatalf("round trip changed the spec: %+v vs %+v", s, s2)
+		}
+	})
+}

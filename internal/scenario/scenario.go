@@ -171,6 +171,23 @@ var builtins = map[string]string{
 		"reps": 2,
 		"seed": 42
 	}`,
+	// scale16k: 128× the paper's peak scale on modern hardware — the
+	// regime the direct-handoff scheduler, pooled message path, and sparse
+	// per-peer transport state exist for. One cell is a 16384-rank
+	// lifetime with Poisson failures under uncoordinated (GP1)
+	// checkpointing; BenchmarkScenario16384 runs exactly this profile.
+	"scale16k": `{
+		"name": "scale16k",
+		"notes": "16384 ranks; memory stays bounded (sparse channels, streaming aggregation)",
+		"cluster": {"profile": "modern"},
+		"workload": {"kind": "synthetic", "iters": 30, "mflopsPerIter": 3000},
+		"scales": [16384],
+		"modes": ["GP1"],
+		"checkpoint": {"intervalS": 2},
+		"failures": {"process": "poisson", "mtbfS": 2},
+		"reps": 1,
+		"seed": 1
+	}`,
 }
 
 // BuiltIn returns the named built-in scenario profile.

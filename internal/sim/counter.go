@@ -5,12 +5,15 @@ package sim
 // pair of transport bytes: draining a channel is "await received ≥ the
 // sender's bookmarked sent count".
 type Counter struct {
-	k       *Kernel
-	name    string
-	v       int64
-	waiters []*counterWaiter
+	k         *Kernel
+	name      string
+	waitState string // "counter <name>", precomputed for block()
+	v         int64
+	waiters   []*counterWaiter
 }
 
+// counterWaiter is a parked awaiter, embedded in Proc (a process awaits at
+// most one counter at a time) so registering allocates nothing.
 type counterWaiter struct {
 	p      *Proc
 	target int64
@@ -18,7 +21,7 @@ type counterWaiter struct {
 
 // NewCounter returns a counter starting at zero.
 func NewCounter(k *Kernel, name string) *Counter {
-	return &Counter{k: k, name: name}
+	return &Counter{k: k, name: name, waitState: "counter " + name}
 }
 
 // Value returns the current count.
@@ -49,7 +52,8 @@ func (c *Counter) Add(n int64) {
 // immediately if the counter is already there.
 func (c *Counter) AwaitAtLeast(p *Proc, target int64) {
 	for c.v < target {
-		c.waiters = append(c.waiters, &counterWaiter{p: p, target: target})
-		p.block("counter " + c.name)
+		p.cw = counterWaiter{p: p, target: target}
+		c.waiters = append(c.waiters, &p.cw)
+		p.block(c.waitState)
 	}
 }

@@ -5,15 +5,16 @@ package sim
 // the per-rank daemon closes the gate and the application thread parks at its
 // next send, receive-completion, or compute-slice boundary.
 type Gate struct {
-	k       *Kernel
-	name    string
-	closed  bool
-	waiters []*Proc
+	k         *Kernel
+	name      string
+	passState string // "gate <name>", precomputed for block()
+	closed    bool
+	waiters   []*Proc
 }
 
 // NewGate returns an open gate. name is used in deadlock reports.
 func NewGate(k *Kernel, name string) *Gate {
-	return &Gate{k: k, name: name}
+	return &Gate{k: k, name: name, passState: "gate " + name}
 }
 
 // Closed reports whether the gate is closed.
@@ -40,6 +41,6 @@ func (g *Gate) Open() {
 func (g *Gate) Pass(p *Proc) {
 	for g.closed {
 		g.waiters = append(g.waiters, p)
-		p.block("gate " + g.name)
+		p.block(g.passState)
 	}
 }

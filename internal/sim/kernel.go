@@ -2,14 +2,17 @@ package sim
 
 import "math/rand"
 
-// event is a scheduled occurrence: either the wakeup of a blocked process or
-// a kernel-context callback.
+// event is a scheduled occurrence: the wakeup of a blocked process, a
+// kernel-context callback, or a pre-bound callback with one argument (the
+// allocation-free form used by the message delivery path).
 type event struct {
 	at    Time
-	seq   uint64 // tie-break: FIFO among events at the same instant
-	p     *Proc  // non-nil: resume this process…
-	token uint64 // …if its wake token still matches
-	fn    func() // non-nil: run this callback in kernel context
+	seq   uint64    // tie-break: FIFO among events at the same instant
+	p     *Proc     // non-nil: resume this process…
+	token uint64    // …if its wake token still matches
+	fn    func()    // non-nil: run this callback in kernel context
+	fn1   func(any) // non-nil: run fn1(arg) in kernel context
+	arg   any
 }
 
 // before orders events by (at, seq).
@@ -80,14 +83,24 @@ func (h *eventHeap) pop() event {
 
 // Kernel is a discrete-event simulation kernel. The zero value is not usable;
 // construct with NewKernel.
+//
+// Scheduling is by direct handoff: the right to run the event loop (the
+// "baton") lives in exactly one goroutine at a time. When a process blocks,
+// its own goroutine pops the next event and either keeps running (the next
+// event resumes the same process — no channel operation at all) or hands the
+// baton straight to the next process's goroutine. The Run goroutine is just
+// the first baton holder; it gets the baton back only when the queue drains
+// or the horizon is reached. Compared with a central scheduler goroutine,
+// this halves the context switches per blocking primitive and makes
+// self-wakeups (Hold with nothing scheduled in between) free.
 type Kernel struct {
-	now   Time
-	eq    eventHeap
-	seq   uint64
-	yield chan struct{} // active process → kernel: "I am blocked again"
-	procs []*Proc
-	live  int // processes that have not finished
-	rng   *rand.Rand
+	now    Time
+	eq     eventHeap
+	seq    uint64
+	parked chan struct{} // baton return to Run: queue drained or horizon hit
+	procs  []*Proc
+	live   int // processes that have not finished
+	rng    *rand.Rand
 
 	running bool
 	stopAt  Time // 0 = no horizon
@@ -98,8 +111,8 @@ type Kernel struct {
 // Identical seeds produce identical simulations.
 func NewKernel(seed int64) *Kernel {
 	return &Kernel{
-		yield: make(chan struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -122,13 +135,26 @@ func (k *Kernel) SetHorizon(t Time) { k.stopAt = t }
 // At schedules fn to run in kernel context at virtual time t (or now, if t is
 // in the past). fn must not block: it may schedule events, put messages into
 // mailboxes, and spawn processes, but must not call Hold, Recv, or any other
-// blocking primitive.
+// blocking primitive. "Kernel context" is whichever goroutine holds the
+// baton when the event fires.
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
 	k.eq.push(event{at: t, seq: k.seq, fn: fn})
+}
+
+// At1 is At for a pre-bound callback taking one argument. Because fn can be
+// a long-lived closure and arg rides in the event's interface slot, a hot
+// path that schedules the same handler for every message (mpi delivery)
+// allocates nothing per call.
+func (k *Kernel) At1(t Time, fn func(any), arg any) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.eq.push(event{at: t, seq: k.seq, fn1: fn, arg: arg})
 }
 
 // After is At relative to the current time.
@@ -180,17 +206,73 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		if !p.daemon {
 			p.k.live--
 		}
-		p.k.yield <- struct{}{}
+		// Pass the baton onward: the done flag keeps dispatch from ever
+		// selecting this process again, so dispatch either hands off to
+		// another goroutine or returns the baton to Run, and this
+		// goroutine exits.
+		p.k.dispatch(p)
 	}()
 	k.scheduleWake(k.now, p)
 	return p
 }
 
-// activate hands control to p and waits until it blocks or finishes.
-func (k *Kernel) activate(p *Proc) {
-	p.token++ // invalidate other pending wakeups for p
-	p.resume <- struct{}{}
-	<-k.yield
+// step pops and executes the next runnable event. Kernel-context callbacks
+// run inline; a valid process wakeup is returned as resume (with the wake
+// token already advanced) for the caller to transfer control to. processed
+// is false when nothing remains runnable — the queue drained or the next
+// event lies beyond the horizon. Both Run and dispatch drive this one
+// loop body, so every event kind is handled identically whichever
+// goroutine holds the baton.
+func (k *Kernel) step() (resume *Proc, processed bool) {
+	if k.eq.Len() == 0 {
+		return nil, false
+	}
+	if k.stopAt != 0 && k.eq.peek().at > k.stopAt {
+		return nil, false
+	}
+	ev := k.eq.pop()
+	if ev.at < k.now {
+		panic("sim: time reversal")
+	}
+	k.now = ev.at
+	k.events++
+	switch {
+	case ev.p != nil:
+		p := ev.p
+		if p.done || !p.blocked || ev.token != p.token {
+			return nil, true // stale wakeup
+		}
+		p.token++ // invalidate other pending wakeups for p
+		return p, true
+	case ev.fn != nil:
+		ev.fn()
+	case ev.fn1 != nil:
+		ev.fn1(ev.arg)
+	}
+	return nil, true
+}
+
+// dispatch runs the event loop on the calling goroutine until control
+// transfers: the first valid process wakeup either returns true (the wakeup
+// is for self — the baton never leaves this goroutine) or hands the baton
+// to that process and returns false. When nothing remains runnable, the
+// baton goes back to the Run goroutine via k.parked.
+func (k *Kernel) dispatch(self *Proc) bool {
+	for {
+		p, processed := k.step()
+		if !processed {
+			k.parked <- struct{}{}
+			return false
+		}
+		if p == nil {
+			continue
+		}
+		if p == self {
+			return true
+		}
+		p.resume <- struct{}{}
+		return false
+	}
 }
 
 // Run processes events until the queue drains or the horizon is reached.
@@ -203,26 +285,21 @@ func (k *Kernel) Run() error {
 	k.running = true
 	defer func() { k.running = false }()
 
-	for k.eq.Len() > 0 {
-		if k.stopAt != 0 && k.eq.peek().at > k.stopAt {
-			return nil
-		}
-		ev := k.eq.pop()
-		if ev.at < k.now {
-			panic("sim: time reversal")
-		}
-		k.now = ev.at
-		k.events++
-		switch {
-		case ev.p != nil:
-			p := ev.p
-			if p.done || !p.blocked || ev.token != p.token {
-				continue // stale wakeup
+	for {
+		p, processed := k.step()
+		if !processed {
+			if k.eq.Len() > 0 {
+				return nil // horizon reached; events remain beyond it
 			}
-			k.activate(p)
-		case ev.fn != nil:
-			ev.fn()
+			break
 		}
+		if p == nil {
+			continue
+		}
+		p.resume <- struct{}{}
+		// The baton travels process-to-process and comes back here only
+		// when nothing remains runnable before the horizon.
+		<-k.parked
 	}
 	if k.live > 0 {
 		var blocked []string

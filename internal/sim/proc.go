@@ -2,8 +2,9 @@ package sim
 
 // Proc is a simulated process. Exactly one Proc executes at any instant; a
 // Proc runs until it calls a blocking primitive (Hold, Mailbox.Recv,
-// Resource.Use, Gate.Pass, Counter.AwaitAtLeast), at which point control
-// returns to the kernel.
+// Resource.Use, Gate.Pass, Counter.AwaitAtLeast), at which point it runs the
+// event loop itself and hands control directly to the next runnable process
+// (see Kernel).
 type Proc struct {
 	k       *Kernel
 	id      int
@@ -14,6 +15,12 @@ type Proc struct {
 	done    bool
 	daemon  bool   // daemons do not count toward deadlock detection
 	state   string // human-readable blocked state, for deadlock reports
+
+	// Reusable waiter slots. A process blocks on at most one primitive at
+	// a time, so embedding the waiters here makes registering with a
+	// mailbox or counter allocation-free.
+	mbw mboxWaiter
+	cw  counterWaiter
 }
 
 // Daemon reports whether the process was spawned with SpawnDaemon.
@@ -40,11 +47,17 @@ func (p *Proc) Done() bool { return p.done }
 // block parks the process with the given state description until the kernel
 // resumes it. Callers must have arranged a wakeup (a scheduled event or
 // registration with a mailbox/gate/counter) before calling block.
+//
+// The blocking process drives the event loop itself (direct handoff): if the
+// next runnable event is this process's own wakeup, block returns without a
+// single channel operation; otherwise the baton goes straight to the next
+// process and this goroutine parks until some future baton holder resumes it.
 func (p *Proc) block(state string) {
 	p.state = state
 	p.blocked = true
-	p.k.yield <- struct{}{}
-	<-p.resume
+	if !p.k.dispatch(p) {
+		<-p.resume
+	}
 	p.blocked = false
 	p.state = "running"
 }

@@ -13,9 +13,10 @@ package sim
 //     blocking (computing the delivery time of an in-flight message as it
 //     passes through the receiver's NIC).
 type Resource struct {
-	k    *Kernel
-	name string
-	rate float64 // bytes per second
+	k        *Kernel
+	name     string
+	useState string  // "resource <name>", precomputed for block()
+	rate     float64 // bytes per second
 
 	freeAt Time
 	busy   Time  // total busy time, for utilization stats
@@ -27,7 +28,7 @@ func NewResource(k *Kernel, name string, rate float64) *Resource {
 	if rate <= 0 {
 		panic("sim: Resource rate must be positive")
 	}
-	return &Resource{k: k, name: name, rate: rate}
+	return &Resource{k: k, name: name, useState: "resource " + name, rate: rate}
 }
 
 // Rate returns the service rate in bytes per second.
@@ -76,7 +77,7 @@ func (r *Resource) BlockUntil(t Time) {
 func (r *Resource) Use(p *Proc, n int64) Time {
 	end := r.Reserve(n)
 	p.k.scheduleWake(end, p)
-	p.block("resource " + r.name)
+	p.block(r.useState)
 	return end
 }
 
@@ -91,6 +92,6 @@ func (r *Resource) UseDur(p *Proc, d Time) Time {
 	r.freeAt = end
 	r.busy += d
 	p.k.scheduleWake(end, p)
-	p.block("resource " + r.name)
+	p.block(r.useState)
 	return end
 }

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// feedBoth replays the same synthetic event stream into a Recorder and a
+// CommMatrix through a Tee, as a world with both observers would.
+func feedBoth(events int, seed int64) (*Recorder, *CommMatrix) {
+	rec := &Recorder{}
+	m := NewCommMatrix()
+	tee := Tee{rec, m}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < events; i++ {
+		src, dst := rng.Intn(16), rng.Intn(16)
+		bytes := int64(rng.Intn(10_000))
+		tee.Send(sim.Time(i), src, dst, rng.Intn(8), bytes)
+		if rng.Intn(2) == 0 {
+			tee.Deliver(sim.Time(i)+5, src, dst, 1, bytes)
+		}
+	}
+	return rec, m
+}
+
+func TestMatrixPairsMatchAggregate(t *testing.T) {
+	rec, m := feedBoth(5000, 7)
+	want := Aggregate(rec.Records)
+	got := m.Pairs()
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %d, aggregate = %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: matrix %+v, aggregate %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatrixTotalsAndLookups(t *testing.T) {
+	m := NewCommMatrix()
+	m.Send(0, 1, 2, 0, 100)
+	m.Send(1, 2, 1, 0, 50)  // same unordered pair, reverse direction
+	m.Send(2, 3, 3, 0, 999) // self-send: excluded
+	m.Send(3, 0, 5, 0, 10)
+	if m.Sends() != 3 {
+		t.Errorf("Sends = %d, want 3 (self-send excluded)", m.Sends())
+	}
+	if m.TotalBytes() != 160 {
+		t.Errorf("TotalBytes = %d, want 160", m.TotalBytes())
+	}
+	if m.NumPairs() != 2 {
+		t.Errorf("NumPairs = %d, want 2", m.NumPairs())
+	}
+	if got := m.PairBytes(2, 1); got != 150 {
+		t.Errorf("PairBytes(2,1) = %d, want 150 (both directions)", got)
+	}
+	if got := m.PairBytes(0, 5); got != 10 {
+		t.Errorf("PairBytes(0,5) = %d, want 10", got)
+	}
+	if got := m.PairBytes(4, 7); got != 0 {
+		t.Errorf("PairBytes(4,7) = %d, want 0", got)
+	}
+}
+
+func TestMatrixDeliversIgnored(t *testing.T) {
+	m := NewCommMatrix()
+	m.Send(0, 1, 2, 0, 100)
+	m.Deliver(5, 1, 2, 0, 100)
+	if m.Sends() != 1 || m.TotalBytes() != 100 {
+		t.Errorf("deliver counted: %d sends, %d bytes", m.Sends(), m.TotalBytes())
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	tee := Tee{a, b}
+	tee.Send(1, 0, 1, 2, 64)
+	tee.Deliver(2, 0, 1, 2, 64)
+	for i, r := range []*Recorder{a, b} {
+		if len(r.Records) != 2 {
+			t.Errorf("recorder %d saw %d records, want 2", i, len(r.Records))
+		}
+	}
+}
+
+func TestSendsCachedAndInvalidated(t *testing.T) {
+	r := &Recorder{}
+	r.Send(1, 0, 1, 0, 10)
+	r.Deliver(2, 0, 1, 0, 10)
+	first := r.Sends()
+	if len(first) != 1 {
+		t.Fatalf("sends = %d, want 1", len(first))
+	}
+	// Unchanged records: the same backing view comes back (no re-filter).
+	again := r.Sends()
+	if &first[0] != &again[0] {
+		t.Error("Sends rebuilt despite unchanged records")
+	}
+	// Appending invalidates the cache…
+	r.Send(3, 1, 0, 0, 20)
+	updated := r.Sends()
+	if len(updated) != 2 {
+		t.Fatalf("after append, sends = %d, want 2", len(updated))
+	}
+	// …and the rebuild must not mutate views returned earlier.
+	if len(first) != 1 || first[0].Bytes != 10 {
+		t.Errorf("earlier view mutated by rebuild: %+v", first)
+	}
+}

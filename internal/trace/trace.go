@@ -9,7 +9,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -24,9 +23,16 @@ type Record struct {
 	Deliver bool // false: send; true: delivery at the destination
 }
 
-// Recorder collects records; it implements mpi.Tracer.
+// Recorder collects records; it implements mpi.Tracer. It buffers every
+// transport event, so memory scales with message count — prefer CommMatrix
+// when only pair aggregates are needed.
 type Recorder struct {
 	Records []Record
+
+	// sends caches the filtered view Sends returns; sendsLen is the
+	// Records length the cache was built at, so appends invalidate it.
+	sends    []Record
+	sendsLen int
 }
 
 // Send implements mpi.Tracer.
@@ -39,15 +45,24 @@ func (r *Recorder) Deliver(t sim.Time, src, dst, tag int, bytes int64) {
 	r.Records = append(r.Records, Record{T: t, Src: src, Dst: dst, Tag: tag, Bytes: bytes, Deliver: true})
 }
 
-// Sends returns only the send records (the input to group formation).
+// Sends returns only the send records (the input to group formation). The
+// result is a cached view rebuilt only when records were appended since the
+// last call; callers must not append to it. Each rebuild allocates a fresh
+// backing array, so views returned by earlier calls stay valid. Mutating
+// Records other than by appending (e.g. truncate-and-refill) voids the
+// cache guarantee.
 func (r *Recorder) Sends() []Record {
-	var out []Record
-	for _, rec := range r.Records {
-		if !rec.Deliver {
-			out = append(out, rec)
+	if r.sends == nil || r.sendsLen != len(r.Records) {
+		sends := make([]Record, 0, len(r.Records))
+		for _, rec := range r.Records {
+			if !rec.Deliver {
+				sends = append(sends, rec)
+			}
 		}
+		r.sends = sends
+		r.sendsLen = len(r.Records)
 	}
-	return out
+	return r.sends
 }
 
 // PairStat aggregates traffic between an unordered pair of ranks A < B.
@@ -85,18 +100,7 @@ func Aggregate(records []Record) []PairStat {
 	for _, st := range agg {
 		out = append(out, *st)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bytes != out[j].Bytes {
-			return out[i].Bytes > out[j].Bytes
-		}
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
+	sortPairs(out)
 	return out
 }
 

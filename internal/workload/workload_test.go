@@ -11,9 +11,11 @@ import (
 	"repro/internal/trace"
 )
 
-// runWorkload executes a workload to completion on a quiet cluster with a
-// tracer attached and returns the world and trace records.
-func runWorkload(t *testing.T, wl Workload) (*mpi.World, []trace.Record) {
+// runWorkload executes a workload to completion on a quiet cluster with
+// both tracers attached (full records for the per-record assertions, the
+// streaming matrix for formation equivalence) and returns the world, the
+// trace records, and the matrix.
+func runWorkload(t *testing.T, wl Workload) (*mpi.World, []trace.Record, *trace.CommMatrix) {
 	t.Helper()
 	k := sim.NewKernel(1)
 	cfg := cluster.Gideon()
@@ -22,17 +24,18 @@ func runWorkload(t *testing.T, wl Workload) (*mpi.World, []trace.Record) {
 	c := cluster.New(k, wl.Procs(), cfg)
 	w := mpi.NewWorld(k, c, wl.Procs())
 	rec := &trace.Recorder{}
-	w.Tracer = rec
+	m := trace.NewCommMatrix()
+	w.Tracer = trace.Tee{rec, m}
 	w.Launch(wl.Body)
 	if err := k.Run(); err != nil {
 		t.Fatalf("%s: %v", wl.Name(), err)
 	}
-	return w, rec.Records
+	return w, rec.Records, m
 }
 
 func TestSyntheticRuns(t *testing.T) {
 	wl := NewSynthetic(4, 20)
-	w, recs := runWorkload(t, wl)
+	w, recs, _ := runWorkload(t, wl)
 	if len(recs) == 0 {
 		t.Fatal("no trace records")
 	}
@@ -45,7 +48,7 @@ func TestSyntheticRuns(t *testing.T) {
 
 func TestHPLSmallRunsToCompletion(t *testing.T) {
 	wl := NewHPL(1920, 16) // 16 panels, quick
-	w, recs := runWorkload(t, wl)
+	w, recs, _ := runWorkload(t, wl)
 	if len(recs) == 0 {
 		t.Fatal("no traffic traced")
 	}
@@ -65,7 +68,7 @@ func TestHPLGroupingRecoversColumns(t *testing.T) {
 	// trace analysis groups the process *columns* — Q groups of P ranks
 	// in round-robin rank order ({0,4,8,...}, {1,5,9,...}, … for 8×4).
 	wl := NewHPL(3840, 32) // 8×4 grid, 32 panels
-	_, recs := runWorkload(t, wl)
+	_, recs, _ := runWorkload(t, wl)
 	f := group.FromTrace(recs, 32, wl.P)
 	if err := f.Validate(); err != nil {
 		t.Fatal(err)
@@ -89,7 +92,7 @@ func TestHPLGroupingRecoversColumns(t *testing.T) {
 
 func TestHPLColumnTrafficDominates(t *testing.T) {
 	wl := NewHPL(3840, 32)
-	_, recs := runWorkload(t, wl)
+	_, recs, _ := runWorkload(t, wl)
 	var colBytes, rowBytes int64
 	for _, r := range recs {
 		if r.Deliver {
@@ -148,7 +151,7 @@ func TestCGRunsSquareAndRectangularGrids(t *testing.T) {
 		wl := CGClassC(n)
 		wl.NIter = 3 // keep the test fast
 		wl.NA = 15000
-		w, recs := runWorkload(t, wl)
+		w, recs, _ := runWorkload(t, wl)
 		rows, cols := wl.Grid()
 		if rows*cols != n {
 			t.Fatalf("grid %dx%d != %d", rows, cols, n)
@@ -190,7 +193,7 @@ func TestCGMessagesAreContinuous(t *testing.T) {
 	wl := CGClassC(16)
 	wl.NIter = 5
 	wl.NA = 15000
-	w, recs := runWorkload(t, wl)
+	w, recs, _ := runWorkload(t, wl)
 	var finish sim.Time
 	for _, r := range w.Ranks {
 		if r.FinishTime > finish {
@@ -218,7 +221,7 @@ func TestSPRunsOnSquareGrids(t *testing.T) {
 		wl := SPClassC(n)
 		wl.NIter = 8
 		wl.Problem = 36
-		w, recs := runWorkload(t, wl)
+		w, recs, _ := runWorkload(t, wl)
 		if len(recs) == 0 {
 			t.Fatal("no traffic")
 		}
@@ -243,7 +246,7 @@ func TestSPRowTrafficDominates(t *testing.T) {
 	wl := SPClassC(16)
 	wl.NIter = 8
 	wl.Problem = 36
-	_, recs := runWorkload(t, wl)
+	_, recs, _ := runWorkload(t, wl)
 	sq := wl.Grid()
 	var rowB, colB int64
 	for _, r := range recs {
@@ -265,7 +268,7 @@ func TestSPGroupingRecoversRows(t *testing.T) {
 	wl := SPClassC(16)
 	wl.NIter = 8
 	wl.Problem = 36
-	_, recs := runWorkload(t, wl)
+	_, recs, _ := runWorkload(t, wl)
 	sq := wl.Grid()
 	f := group.FromTrace(recs, 16, sq)
 	if err := f.Validate(); err != nil {
@@ -295,6 +298,49 @@ func TestNamesDescriptive(t *testing.T) {
 		}
 		if wl.ImageBytes(0) <= 0 {
 			t.Errorf("%s: non-positive image", wl.Name())
+		}
+	}
+}
+
+// TestMatrixMatchesTraceFormation is the CommMatrix equivalence guarantee
+// on real workloads: formations (Algorithm 2 and the dynamic baseline)
+// derived from the streaming matrix must be identical to those derived from
+// the full record trace, and the matrix totals must match the records it
+// folded in.
+func TestMatrixMatchesTraceFormation(t *testing.T) {
+	cg := CGClassC(16)
+	cg.NIter = 3
+	cg.NA = 15000
+	sp := SPClassC(16)
+	sp.NIter = 8
+	sp.Problem = 36
+	for _, wl := range []Workload{
+		NewSynthetic(8, 20),
+		NewHPL(3840, 32),
+		cg,
+		sp,
+	} {
+		_, recs, m := runWorkload(t, wl)
+		n := wl.Procs()
+		fm, ft := group.FromMatrix(m, n, 0), group.FromTrace(recs, n, 0)
+		if got, want := fm.String(), ft.String(); got != want {
+			t.Errorf("%s: matrix formation %q, trace formation %q", wl.Name(), got, want)
+		}
+		dm, dt := group.DynamicFromMatrix(m, n), group.Dynamic(recs, n)
+		if got, want := dm.String(), dt.String(); got != want {
+			t.Errorf("%s: matrix dynamic %q, trace dynamic %q", wl.Name(), got, want)
+		}
+		var sends int
+		var bytes int64
+		for _, r := range recs {
+			if !r.Deliver && r.Src != r.Dst {
+				sends++
+				bytes += r.Bytes
+			}
+		}
+		if m.Sends() != sends || m.TotalBytes() != bytes {
+			t.Errorf("%s: matrix folded %d sends/%d bytes, trace has %d/%d",
+				wl.Name(), m.Sends(), m.TotalBytes(), sends, bytes)
 		}
 	}
 }

@@ -4,7 +4,7 @@
 GO ?= go
 SHORT_SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)
 
-.PHONY: build test race bench bench-json bench-diff fuzz-smoke smoke lint ci
+.PHONY: build test race bench bench-json bench-diff fuzz-smoke smoke check-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -43,10 +43,19 @@ bench-diff: bench-json
 	$(GO) run ./cmd/benchdiff -baseline bench-baseline.json \
 		-current BENCH_$(SHORT_SHA).json
 
-# A short native-fuzzing smoke run over the scenario spec parser: enough
-# executions to catch parser/validator drift, fast enough for every CI run.
+# Short native-fuzzing smoke runs: the scenario spec parser (parser and
+# validator drift) and the simcheck end-to-end oracle (each fuzz input is a
+# generator seed that expands into a full scenario checked against every
+# invariant). Enough executions to catch drift, fast enough for every CI run.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/scenario
+	$(GO) test -run '^$$' -fuzz FuzzScenario -fuzztime 10s ./internal/simcheck
+
+# Bounded randomized invariant sweep (~10s): 100 generated scenarios through
+# the simcheck oracle. A printed failing seed reproduces exactly with
+# `gbcheck -n 1 -seed <seed> -v`; overnight sweeps raise -n and -max-ranks.
+check-smoke:
+	$(GO) run ./cmd/gbcheck -n 100 -seed 1 -max-ranks 64
 
 # End-to-end CLI smoke: one figure reproduction, then the shipped example
 # scenario diffed against its golden table. The scenario engine guarantees
@@ -71,4 +80,4 @@ lint:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-ci: lint build race bench smoke fuzz-smoke
+ci: lint build race bench smoke check-smoke fuzz-smoke

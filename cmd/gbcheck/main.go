@@ -1,0 +1,78 @@
+// gbcheck sweeps randomized generated scenarios through the simcheck
+// invariant oracle: each seed deterministically generates one scenario spec
+// (cluster × workload × scales × modes × checkpoint policy × failure
+// process), runs every cell with full introspection, and machine-checks the
+// simulator's conservation and consistency invariants (see
+// internal/simcheck).
+//
+// Usage:
+//
+//	gbcheck -n 50 -seed 1          # the acceptance sweep: 50 scenarios
+//	gbcheck -n 25 -max-ranks 32    # CI smoke (make check-smoke)
+//	gbcheck -n 2000 -max-ranks 512 # overnight sweep
+//	gbcheck -n 1 -seed 137 -v      # reproduce one reported seed, verbosely
+//
+// Seeds are pure inputs: scenario i of a sweep uses generator seed
+// -seed + i, and every simulation cell inside it is seeded from the spec.
+// -seed 0 selects the deterministic default (1); gbcheck never seeds from
+// the wall clock, so a failing seed printed here reproduces the violation
+// exactly, on any machine.
+//
+// Exit status is 0 only if every invariant held on every scenario.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/simcheck"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 25, "number of generated scenarios to check")
+		seed     = flag.Int64("seed", 1, "base generator seed; scenario i uses seed+i (0 = the deterministic default 1, never wall clock)")
+		maxRanks = flag.Int("max-ranks", 64, "cap on generated rank counts (min 16; raise for overnight sweeps)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation cells to run concurrently within each scenario")
+		quick    = flag.Bool("quick", false, "skip the serial determinism re-run (halves the cost, drops one invariant)")
+		verbose  = flag.Bool("v", false, "print each generated spec before checking it")
+	)
+	flag.Parse()
+	if *seed == 0 {
+		*seed = 1
+	}
+
+	cfg := simcheck.CheckConfig{Workers: *parallel, SkipDeterminism: *quick}
+	failed := 0
+	cells := 0
+	for i := 0; i < *n; i++ {
+		genSeed := *seed + int64(i)
+		spec := simcheck.Generate(genSeed, simcheck.GenConfig{MaxRanks: *maxRanks})
+		if *verbose {
+			if out, err := spec.Marshal(); err == nil {
+				fmt.Printf("--- seed %d\n%s\n", genSeed, out)
+			}
+		}
+		rep := simcheck.Check(spec, cfg)
+		cells += rep.Cells
+		if rep.Ok() {
+			fmt.Printf("ok   seed=%-6d %-12s %s×%v modes=%v cells=%d\n",
+				genSeed, spec.Name, spec.Workload.Kind, spec.Scales, spec.Modes, rep.Cells)
+			continue
+		}
+		failed++
+		fmt.Printf("FAIL seed=%-6d %-12s %s×%v modes=%v\n",
+			genSeed, spec.Name, spec.Workload.Kind, spec.Scales, spec.Modes)
+		for _, v := range rep.Violations {
+			fmt.Printf("     %s\n", v)
+		}
+		fmt.Printf("     reproduce with: gbcheck -n 1 -seed %d -max-ranks %d -v\n", genSeed, *maxRanks)
+	}
+	if failed > 0 {
+		fmt.Printf("simcheck: %d of %d scenarios violated invariants (%d cells)\n", failed, *n, cells)
+		os.Exit(1)
+	}
+	fmt.Printf("simcheck: %d scenarios, %d cells, all invariants held\n", *n, cells)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary re-exec itself as the real CLI (the same
+// pattern as cmd/gbexp).
+func TestMain(m *testing.M) {
+	if os.Getenv("GBCHECK_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GBCHECK_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestSweepPassesAndSummarizes: a small healthy sweep exits zero and
+// reports every scenario ok plus the closing summary.
+func TestSweepPassesAndSummarizes(t *testing.T) {
+	out, err := runCLI(t, "-n", "5", "-seed", "1", "-max-ranks", "24", "-quick")
+	if err != nil {
+		t.Fatalf("gbcheck failed: %v\n%s", err, out)
+	}
+	if got := strings.Count(out, "ok   seed="); got != 5 {
+		t.Errorf("want 5 ok lines, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "all invariants held") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+}
+
+// TestSeedZeroIsDeterministicDefault: -seed 0 must behave exactly like the
+// documented default of 1 — never wall clock.
+func TestSeedZeroIsDeterministicDefault(t *testing.T) {
+	zero, err := runCLI(t, "-n", "2", "-seed", "0", "-max-ranks", "24", "-quick")
+	if err != nil {
+		t.Fatalf("seed 0 run failed: %v\n%s", err, zero)
+	}
+	one, err := runCLI(t, "-n", "2", "-seed", "1", "-max-ranks", "24", "-quick")
+	if err != nil {
+		t.Fatalf("seed 1 run failed: %v\n%s", err, one)
+	}
+	if zero != one {
+		t.Errorf("-seed 0 and -seed 1 diverge:\n%s\nvs\n%s", zero, one)
+	}
+}
+
+// TestVerbosePrintsSpec: -v echoes the generated spec JSON before checking.
+func TestVerbosePrintsSpec(t *testing.T) {
+	out, err := runCLI(t, "-n", "1", "-seed", "3", "-max-ranks", "24", "-quick", "-v")
+	if err != nil {
+		t.Fatalf("gbcheck -v failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"workload"`) || !strings.Contains(out, "--- seed 3") {
+		t.Errorf("verbose output missing the spec:\n%s", out)
+	}
+}

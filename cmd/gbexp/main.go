@@ -14,6 +14,12 @@
 // Simulation runs are independent and deterministically seeded, so -parallel
 // only changes wall-clock time: tables are byte-identical at any worker
 // count.
+//
+// Seeds are pure inputs everywhere: figure experiments use fixed per-point
+// seeds, and a scenario spec's "seed" field (0 = the deterministic default
+// 1) fully determines every cell. Nothing ever seeds from the wall clock —
+// rerunning any command reproduces its output byte-for-byte, which is what
+// lets `gbcheck` print a reproducing seed when an invariant fails.
 package main
 
 import (

@@ -27,6 +27,8 @@
 //	internal/runner    parallel experiment engine: worker pool + memoization
 //	internal/scenario  declarative JSON experiment specs (gbexp -scenario);
 //	                   built-in profiles up to 16384 ranks (scale16k)
+//	internal/simcheck  randomized scenario generation + the invariant
+//	                   oracle behind cmd/gbcheck and FuzzScenario
 //
 // Experiments hand their run matrix (scales × modes × repetitions) to
 // internal/runner, which fans the independent, deterministically seeded

@@ -1,7 +1,6 @@
 package ckpt
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/sim"
@@ -73,46 +72,5 @@ func TestSnapshotClone(t *testing.T) {
 	c.RecvdFrom[4] = 1
 	if s.SentTo[2] != 100 || len(s.RecvdFrom) != 1 {
 		t.Error("Clone did not deep-copy maps")
-	}
-}
-
-func TestYoungInterval(t *testing.T) {
-	// C = 50s, MTBF = 10000s → sqrt(2*50*10000) = 1000s.
-	got := YoungInterval(50*sim.Second, 10000*sim.Second)
-	want := 1000 * sim.Second
-	if math.Abs(float64(got-want)) > float64(sim.Second) {
-		t.Errorf("YoungInterval = %v, want ≈%v", got, want)
-	}
-	if YoungInterval(0, sim.Second) != 0 || YoungInterval(sim.Second, 0) != 0 {
-		t.Error("degenerate inputs should return 0")
-	}
-}
-
-func TestExpectedWasteMinimizedNearYoung(t *testing.T) {
-	c, mtbf := 50*sim.Second, 10000*sim.Second
-	opt := YoungInterval(c, mtbf)
-	wOpt := ExpectedWaste(c, opt, mtbf)
-	for _, factor := range []float64{0.25, 0.5, 2, 4} {
-		other := sim.Time(float64(opt) * factor)
-		if ExpectedWaste(c, other, mtbf) < wOpt {
-			t.Errorf("waste at %v below waste at Young interval", other)
-		}
-	}
-	if !math.IsInf(ExpectedWaste(c, 0, mtbf), 1) {
-		t.Error("zero interval should be infinite waste")
-	}
-}
-
-func TestGroupInterval(t *testing.T) {
-	base := 600 * sim.Second
-	// A group failing 4× as often checkpoints every base/2.
-	if got := GroupInterval(base, 4); got != 300*sim.Second {
-		t.Errorf("GroupInterval(4×) = %v", got)
-	}
-	if got := GroupInterval(base, 0); got != base {
-		t.Errorf("GroupInterval(0) = %v", got)
-	}
-	if got := GroupInterval(base, 1); got != base {
-		t.Errorf("GroupInterval(1) = %v", got)
 	}
 }

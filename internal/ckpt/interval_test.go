@@ -1,0 +1,115 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestYoungInterval: closed-form edge cases. A zero (or negative) failure
+// rate or checkpoint cost yields no interval at all, a huge checkpoint cost
+// pushes the interval out with √C, and the interval is monotone
+// non-decreasing in MTBF.
+func TestYoungInterval(t *testing.T) {
+	cases := []struct {
+		name        string
+		cost, mtbf  sim.Time
+		want        sim.Time
+		exactExpect bool
+	}{
+		{"zero cost", 0, sim.Seconds(100), 0, true},
+		{"zero failure rate (mtbf 0)", sim.Seconds(10), 0, 0, true},
+		{"negative mtbf", sim.Seconds(10), -sim.Seconds(5), 0, true},
+		{"both zero", 0, 0, 0, true},
+		{"textbook: C=50s, MTBF=1h", sim.Seconds(50), sim.Seconds(3600), sim.Time(math.Sqrt(2 * 50 * 3600 * float64(sim.Second) * float64(sim.Second))), true},
+		{"huge checkpoint cost", sim.Seconds(1e9), sim.Seconds(3600), 0, false},
+	}
+	for _, c := range cases {
+		got := YoungInterval(c.cost, c.mtbf)
+		if c.exactExpect {
+			if got != c.want {
+				t.Errorf("%s: YoungInterval(%v, %v) = %v, want %v", c.name, c.cost, c.mtbf, got, c.want)
+			}
+			continue
+		}
+		// Huge cost: the interval must still be finite, positive, and
+		// grow with the cost (√C law).
+		if got <= 0 {
+			t.Errorf("%s: non-positive interval %v", c.name, got)
+		}
+		if half := YoungInterval(c.cost/4, c.mtbf); math.Abs(float64(got-half*2)) > 2 {
+			t.Errorf("%s: √C scaling broken: T(C)=%v, 2·T(C/4)=%v", c.name, got, half*2)
+		}
+	}
+}
+
+// TestYoungIntervalMonotoneInMTBF: rarer failures always allow a checkpoint
+// interval at least as long.
+func TestYoungIntervalMonotoneInMTBF(t *testing.T) {
+	cost := sim.Seconds(30)
+	prev := sim.Time(-1)
+	for _, mtbf := range []sim.Time{sim.Seconds(1), sim.Seconds(10), sim.Seconds(60), sim.Seconds(600), sim.Seconds(3600), sim.Seconds(86400)} {
+		got := YoungInterval(cost, mtbf)
+		if got < prev {
+			t.Errorf("YoungInterval(%v, %v) = %v < previous %v", cost, mtbf, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestExpectedWaste: the first-order waste model must blow up on degenerate
+// inputs, be minimized at Young's interval, and decrease as MTBF grows.
+func TestExpectedWaste(t *testing.T) {
+	c, mtbf := sim.Seconds(50), sim.Seconds(3600)
+	if w := ExpectedWaste(c, 0, mtbf); !math.IsInf(w, 1) {
+		t.Errorf("waste at t=0 = %v, want +Inf", w)
+	}
+	if w := ExpectedWaste(c, sim.Seconds(60), 0); !math.IsInf(w, 1) {
+		t.Errorf("waste at mtbf=0 (zero failure rate sentinel) = %v, want +Inf", w)
+	}
+
+	opt := YoungInterval(c, mtbf)
+	at := func(t sim.Time) float64 { return ExpectedWaste(c, t, mtbf) }
+	if at(opt) > at(opt/2) || at(opt) > at(opt*2) {
+		t.Errorf("waste not minimized at Young's interval: W(T*)=%.6f, W(T*/2)=%.6f, W(2T*)=%.6f",
+			at(opt), at(opt/2), at(opt*2))
+	}
+
+	// Monotone improvement with reliability at a fixed interval.
+	if ExpectedWaste(c, sim.Seconds(300), sim.Seconds(7200)) >= ExpectedWaste(c, sim.Seconds(300), sim.Seconds(1800)) {
+		t.Error("waste did not drop when MTBF quadrupled")
+	}
+}
+
+// TestGroupInterval: the per-group rescaling follows Young's 1/√rate law
+// and falls back to the base interval on degenerate ratios.
+func TestGroupInterval(t *testing.T) {
+	base := sim.Seconds(100)
+	cases := []struct {
+		name  string
+		ratio float64
+		want  sim.Time
+	}{
+		{"zero ratio keeps base", 0, base},
+		{"negative ratio keeps base", -2, base},
+		{"mean-rate group keeps base", 1, base},
+		{"4x failure rate halves the interval", 4, base / 2},
+		{"quarter rate doubles the interval", 0.25, base * 2},
+	}
+	for _, c := range cases {
+		if got := GroupInterval(base, c.ratio); got != c.want {
+			t.Errorf("%s: GroupInterval(%v, %v) = %v, want %v", c.name, base, c.ratio, got, c.want)
+		}
+	}
+
+	// Monotone: groups that fail more often never checkpoint less often.
+	prev := sim.Time(math.MaxInt64)
+	for _, ratio := range []float64{0.1, 0.5, 1, 2, 8, 100} {
+		got := GroupInterval(base, ratio)
+		if got > prev {
+			t.Errorf("GroupInterval not monotone: ratio %v gives %v > previous %v", ratio, got, prev)
+		}
+		prev = got
+	}
+}

@@ -88,6 +88,24 @@ type Config struct {
 	// across uncoordinated cuts (Figures 7 and 8) and what global
 	// coordination has to wait out (Figure 1).
 	SignalJitter sim.Time
+	// OnCut, when non-nil, receives each rank's cut state the moment its
+	// group channels are drained (end of the Coordination stage, gates
+	// still closed). It runs in the checkpointing daemon's context and
+	// must not block. The simcheck invariant oracle uses it to verify cut
+	// consistency: within a group and epoch, every member's received
+	// bytes at its cut must equal the peer's sent bytes at the peer's cut
+	// (no orphan messages, no in-transit residue inside a group).
+	OnCut func(Cut)
+}
+
+// Cut is one rank's frozen channel state at a checkpoint cut, reported via
+// Config.OnCut. InGroupSent/InGroupRecvd cover the other members of the
+// rank's checkpoint group (empty maps for singleton groups).
+type Cut struct {
+	Rank, Epoch  int
+	At           sim.Time
+	InGroupSent  map[int]int64 // bytes this rank pushed toward each member
+	InGroupRecvd map[int]int64 // transport bytes received from each member
 }
 
 // DefaultConfig fills in the calibrated defaults used across experiments.
@@ -346,6 +364,21 @@ func (e *Engine) checkpoint(st *rankState, p *sim.Proc, epoch, replyTo int) {
 		snap.SentTo[q] = sent
 		snap.RecvdFrom[q] = recvd
 	})
+	if e.cfg.OnCut != nil {
+		cut := Cut{
+			Rank: r.ID, Epoch: epoch, At: p.Now(),
+			InGroupSent:  map[int]int64{},
+			InGroupRecvd: map[int]int64{},
+		}
+		for _, mem := range st.members {
+			if mem == r.ID {
+				continue
+			}
+			cut.InGroupSent[mem] = r.SentBytes(mem)
+			cut.InGroupRecvd[mem] = r.RecvdBytes(mem)
+		}
+		e.cfg.OnCut(cut)
+	}
 	tCoord := p.Now()
 
 	// Stage 3 — Checkpoint: write the image.

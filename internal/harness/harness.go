@@ -72,6 +72,22 @@ type Spec struct {
 	// GroupMax bounds GP's trace-derived group size (0 = ⌈√n⌉).
 	GroupMax int
 
+	// Inspect attaches the invariant-oracle introspection: world message
+	// statistics and per-pair byte flows (Result.MsgStats, Result.Flows),
+	// mailbox depths at termination (Result.QueuedApp/QueuedCtrl), and
+	// per-checkpoint cut records (Result.Cuts; group-based modes only).
+	// Flows cost O(communicating pairs) at the end of the run; everything
+	// else is a few integers.
+	Inspect bool
+
+	// Horizon caps virtual time (0 = unlimited). A run whose application
+	// has not finished by the horizon fails with an error — the liveness
+	// backstop the invariant oracle needs, because a dropped delivery
+	// under periodic checkpointing starves a receiver forever without
+	// ever draining the event queue (the checkpoint schedule keeps it
+	// alive), which a deadlock detector alone cannot see.
+	Horizon sim.Time
+
 	// FailureProc, when non-nil, arms a stochastic failure injector on
 	// the run: failures arrive as a renewal process, strike uniformly
 	// drawn nodes, and each is evaluated at its instant under group vs.
@@ -105,6 +121,13 @@ type Result struct {
 	// Failures holds the injected-failure evaluations, in arrival order,
 	// when the spec armed a FailureProc.
 	Failures []failure.Outcome
+
+	// Invariant-oracle introspection, populated when Spec.Inspect is set.
+	MsgStats   mpi.Stats
+	Flows      []mpi.PairFlow
+	QueuedApp  int
+	QueuedCtrl int
+	Cuts       []core.Cut
 }
 
 func zeroIsGideon(c cluster.Config) cluster.Config {
@@ -131,6 +154,9 @@ func Run(spec Spec) (*Result, error) {
 	n := wl.Procs()
 
 	k := sim.NewKernel(spec.Seed)
+	if spec.Horizon > 0 {
+		k.SetHorizon(spec.Horizon)
+	}
 	c := cluster.New(k, n, spec.Cluster)
 	w := mpi.NewWorld(k, c, n)
 
@@ -202,6 +228,9 @@ func Run(spec Spec) (*Result, error) {
 		}
 		cfg := core.DefaultConfig(f, wl.ImageBytes)
 		cfg.Store = store
+		if spec.Inspect {
+			cfg.OnCut = func(c core.Cut) { res.Cuts = append(res.Cuts, c) }
+		}
 		e := core.NewEngine(w, cfg)
 		schedule(e.ScheduleAt, e.SchedulePeriodic)
 		var inj *failure.Injector
@@ -229,6 +258,14 @@ func Run(spec Spec) (*Result, error) {
 		res.Spans = e.EpochSpans()
 	}
 
+	if spec.Horizon > 0 {
+		for _, r := range w.Ranks {
+			if !r.Finished {
+				return nil, fmt.Errorf("harness: %s/%s: rank %d still blocked at horizon %v — deadlock, livelock, or lost message",
+					wl.Name(), spec.Mode, r.ID, spec.Horizon)
+			}
+		}
+	}
 	for _, r := range w.Ranks {
 		if r.FinishTime > res.ExecTime {
 			res.ExecTime = r.FinishTime
@@ -239,6 +276,11 @@ func Run(spec Spec) (*Result, error) {
 	}
 	res.Comm = comm
 	res.Events = k.Events()
+	if spec.Inspect {
+		res.MsgStats = w.Stats()
+		res.Flows = w.PairFlows()
+		res.QueuedApp, res.QueuedCtrl = w.Queued()
+	}
 	return res, nil
 }
 

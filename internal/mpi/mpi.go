@@ -24,6 +24,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -53,6 +54,11 @@ type Msg struct {
 	SendTime      sim.Time
 	ArriveTime    sim.Time
 	Ctrl          bool
+
+	// pooled marks an envelope currently sitting in the free list, so a
+	// double Free is detected instead of corrupting the pool (Stats
+	// records it; the invariant oracle fails the run).
+	pooled bool
 }
 
 // Hooks is implemented by checkpoint protocols to interpose on application
@@ -97,6 +103,94 @@ type World struct {
 	// arrive is the pre-bound delivery handler passed to sim.Kernel.At1,
 	// built once so the per-message schedule allocates nothing.
 	arrive func(any)
+
+	stats Stats
+}
+
+// Stats is the world's message-path accounting, maintained unconditionally
+// (a handful of integer increments on paths that already touch the world).
+// The simcheck invariant oracle reads it through harness.Result: for a
+// completed run Sends == Delivered == Consumed, the free-list identity
+// FreeLen == PoolFreed − PoolReused holds, and DoubleFrees is zero.
+type Stats struct {
+	Sends       int // application messages entering the network
+	Delivered   int // application messages handed to a destination transport
+	Consumed    int // application messages consumed by Recv
+	PoolCreated int // envelopes heap-allocated (free list misses)
+	PoolReused  int // envelopes recycled from the free list
+	PoolFreed   int // envelopes returned to the pool via Free
+	DoubleFrees int // Free calls on an envelope already in the pool
+	FreeLen     int // current free-list depth (filled by World.Stats)
+}
+
+// Stats returns a snapshot of the world's message-path accounting.
+func (w *World) Stats() Stats {
+	s := w.stats
+	s.FreeLen = len(w.freeMsgs)
+	return s
+}
+
+// Queued returns the messages still sitting unmatched in application and
+// control mailboxes. After a completed run the application plane must be
+// empty (every send matched by exactly one receive); the control plane may
+// legitimately hold stragglers (daemons park forever on their next request).
+func (w *World) Queued() (app, ctrl int) {
+	for _, r := range w.Ranks {
+		app += r.mbox.Len()
+		ctrl += r.ctrl.Len()
+	}
+	return app, ctrl
+}
+
+// PairFlow is the per-ordered-pair byte accounting for one communicating
+// (src → dst) channel: bytes the sender pushed, bytes the destination
+// transport received, and bytes the destination application consumed. For a
+// completed run all three agree on every flow.
+type PairFlow struct {
+	Src, Dst              int
+	Sent, Recvd, Consumed int64
+}
+
+// PairFlows enumerates every ordered pair that saw application traffic,
+// sorted by (Src, Dst). Cost is O(communicating pairs), not O(n²) — usable
+// at 16384 ranks.
+func (w *World) PairFlows() []PairFlow {
+	// A flow exists if any of the three counters is non-zero, so enumerate
+	// from both the sender-side and receiver-side sparse maps.
+	var flows []PairFlow
+	seen := map[[2]int]bool{}
+	add := func(src, dst int) {
+		k := [2]int{src, dst}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		d := w.Ranks[dst]
+		flows = append(flows, PairFlow{
+			Src: src, Dst: dst,
+			Sent:     w.Ranks[src].SentBytes(dst),
+			Recvd:    d.RecvdBytes(src),
+			Consumed: d.AppRecvdBytes(src),
+		})
+	}
+	for _, r := range w.Ranks {
+		for dst := range r.sent {
+			add(r.ID, dst)
+		}
+		for src := range r.recvd {
+			add(src, r.ID)
+		}
+		for src := range r.appRecvd {
+			add(src, r.ID)
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Src != flows[j].Src {
+			return flows[i].Src < flows[j].Src
+		}
+		return flows[i].Dst < flows[j].Dst
+	})
+	return flows
 }
 
 // NewWorld creates a world of n ranks, one per cluster node.
@@ -127,16 +221,26 @@ func (w *World) newMsg() *Msg {
 		m := w.freeMsgs[n-1]
 		w.freeMsgs[n-1] = nil
 		w.freeMsgs = w.freeMsgs[:n-1]
+		m.pooled = false
+		w.stats.PoolReused++
 		return m
 	}
+	w.stats.PoolCreated++
 	return new(Msg)
 }
 
 // Free returns an envelope to the world's pool. The caller must hold the
 // only live reference: the envelope's fields (including Payload and PB) are
-// cleared and the memory is reused by a future Send.
+// cleared and the memory is reused by a future Send. Freeing an envelope
+// already in the pool is a bug; it is recorded in Stats.DoubleFrees and the
+// envelope is not pushed a second time.
 func (w *World) Free(m *Msg) {
-	*m = Msg{}
+	if m.pooled {
+		w.stats.DoubleFrees++
+		return
+	}
+	*m = Msg{pooled: true}
+	w.stats.PoolFreed++
 	w.freeMsgs = append(w.freeMsgs, m)
 }
 

@@ -23,6 +23,7 @@ func (r *Rank) Send(dst, tag int, bytes int64, payload any) {
 		tr.Send(r.Now(), m.Src, m.Dst, m.Tag, m.Bytes)
 	}
 	r.addSent(dst, bytes)
+	r.W.stats.Sends++
 	r.deliver(p, m)
 }
 
@@ -42,6 +43,7 @@ func (w *World) deliverArrived(m *Msg) {
 	d := w.Ranks[m.Dst]
 	m.ArriveTime = w.K.Now()
 	if !m.Ctrl {
+		w.stats.Delivered++
 		d.RecvdCounter(m.Src).Add(m.Bytes)
 		if h := w.Hooks; h != nil {
 			h.OnDeliver(d, m)
@@ -72,6 +74,7 @@ func (r *Rank) Recv(src, tag int) *Msg {
 	m := r.mbox.RecvKeyed(r.Proc, src, tag).(*Msg)
 	r.Gate.Pass(r.Proc)
 	r.addAppRecvd(m.Src, m.Bytes)
+	r.W.stats.Consumed++
 	return m
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/harness"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -29,12 +30,48 @@ type cellResult struct {
 	fails  failure.Totals
 }
 
+// Instrument selects per-cell introspection for RunObserved. The zero value
+// adds nothing to the plain Run path.
+type Instrument struct {
+	// Inspect sets harness.Spec.Inspect on every cell (message statistics,
+	// pair flows, queue depths, cut records).
+	Inspect bool
+	// Comm attaches the streaming CommMatrix tracer to every cell.
+	Comm bool
+	// TraceMaxScale attaches the full record tracer to every cell whose
+	// rank count is at or below it (0 = never). The gate is per cell, not
+	// per sweep: a mixed-scale spec still traces its small cells. Memory
+	// scales with message count — keep the bound modest.
+	TraceMaxScale int
+	// HorizonS caps each cell's virtual time in seconds (0 = unlimited):
+	// a cell that has not finished by then fails instead of simulating
+	// forever (the oracle's liveness backstop).
+	HorizonS float64
+}
+
+// Cell identifies one run of the sweep to an observer.
+type Cell struct {
+	Scale int
+	Mode  string
+	Rep   int
+	Seed  int64
+}
+
 // Run executes the sweep — Scales × Modes × Reps independent simulations
 // fanned across workers (≤ 0 = all cores) — and renders one table row per
 // (scale, mode). Every cell is seeded from the spec seed and its matrix
 // coordinates, so the table is byte-identical at any worker count and
 // across runs: a scenario file plus a seed IS the experiment.
 func (s *Spec) Run(workers int) (*stats.Table, error) {
+	return s.RunObserved(workers, Instrument{}, nil)
+}
+
+// RunObserved is Run with per-cell introspection: each completed cell's full
+// harness.Result is handed to obs (nil = none) before being folded into the
+// table. obs is called concurrently from worker goroutines and must be safe
+// for concurrent use; an error from obs fails the sweep. The table is
+// byte-identical to Run's — observation never perturbs the simulation.
+func (s *Spec) RunObserved(workers int, ins Instrument, obs func(Cell, *harness.Result) error) (*stats.Table, error) {
 	clusterCfg, err := s.Cluster.Config()
 	if err != nil {
 		return nil, err
@@ -59,6 +96,10 @@ func (s *Spec) Run(workers int) (*stats.Table, error) {
 			GroupMax:      s.GroupMax,
 			RemoteServers: s.RemoteServers,
 			RemoteAsync:   s.RemoteAsync,
+			Inspect:       ins.Inspect,
+			Comm:          ins.Comm,
+			Trace:         c.Scale <= ins.TraceMaxScale,
+			Horizon:       sim.Seconds(ins.HorizonS),
 		}
 		if s.Failures != nil {
 			spec.FailureProc = s.Failures.process()
@@ -67,6 +108,11 @@ func (s *Spec) Run(workers int) (*stats.Table, error) {
 		res, err := harness.Run(spec)
 		if err != nil {
 			return cellResult{}, err
+		}
+		if obs != nil {
+			if err := obs(Cell{Scale: c.Scale, Mode: s.Modes[c.ModeIdx], Rep: c.Rep, Seed: c.Seed}, res); err != nil {
+				return cellResult{}, err
+			}
 		}
 		return cellResult{
 			exec:   res.ExecTime.Seconds(),

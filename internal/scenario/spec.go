@@ -38,8 +38,13 @@ type Spec struct {
 	Checkpoint CheckpointSpec `json:"checkpoint"`
 	Failures   *FailureSpec   `json:"failures,omitempty"`
 
-	Reps int   `json:"reps,omitempty"` // repetitions per cell (default 2)
-	Seed int64 `json:"seed,omitempty"` // base seed (default 1)
+	// Reps is the repetitions per cell (default 2).
+	Reps int `json:"reps,omitempty"`
+	// Seed is the base seed every cell seed derives from. 0 selects the
+	// deterministic default (1): a spec NEVER seeds from the wall clock,
+	// so a spec file plus its seed always reproduces the same tables,
+	// and a seed printed by gbcheck reproduces a failure exactly.
+	Seed int64 `json:"seed,omitempty"`
 
 	// GroupMax bounds GP's trace-derived group size (0 = ⌈√n⌉).
 	GroupMax int `json:"groupMax,omitempty"`

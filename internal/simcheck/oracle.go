@@ -1,0 +1,287 @@
+package simcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// CheckConfig parameterizes the oracle.
+type CheckConfig struct {
+	// Workers is the sweep's worker count (≤ 0 = all cores). The
+	// determinism invariant re-runs the sweep serially and demands a
+	// byte-identical table, so any value is safe.
+	Workers int
+	// SkipDeterminism drops the serial re-run (and with it the
+	// byte-identical-across-worker-counts invariant), roughly halving the
+	// oracle's cost. The per-cell invariants still run.
+	SkipDeterminism bool
+	// TraceLimit caps the scale at which the full record tracer rides
+	// along for the CommMatrix ≡ Recorder cross-check (its memory scales
+	// with message count). 0 selects 256 ranks.
+	TraceLimit int
+	// HorizonS is the per-cell virtual-time liveness cap in seconds
+	// (0 selects 3600). Generated scenarios finish in well under 100
+	// simulated seconds; a cell still blocked at the horizon is reported
+	// as a liveness violation instead of spinning forever.
+	HorizonS float64
+}
+
+func (c CheckConfig) traceLimit() int {
+	if c.TraceLimit <= 0 {
+		return 256
+	}
+	return c.TraceLimit
+}
+
+func (c CheckConfig) horizonS() float64 {
+	if c.HorizonS <= 0 {
+		return 3600
+	}
+	return c.HorizonS
+}
+
+// Report is the oracle's verdict on one scenario.
+type Report struct {
+	Spec       *scenario.Spec
+	Cells      int      // simulation cells executed
+	Violations []string // empty = every invariant held
+}
+
+// Ok reports whether every invariant held.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Check runs the scenario with full introspection and verifies, on every
+// cell, the invariants the simulator stack promises:
+//
+//   - conservation: every application send is delivered exactly once and
+//     consumed by exactly one receive (counts globally, bytes per ordered
+//     (src → dst) flow), and no message is left queued at termination;
+//   - pool integrity: message envelopes are never double-freed, and the
+//     free list obeys FreeLen == PoolFreed − PoolReused;
+//   - cut consistency: within a checkpoint group and epoch, each member's
+//     received bytes at its cut equal the peer's sent bytes at the peer's
+//     cut — no orphan messages and no in-transit residue across a cut;
+//   - log coverage: every inter-group byte is sender-logged, and log GC
+//     never discards bytes the receiver has not consumed;
+//   - tracer agreement: the streaming CommMatrix aggregation is
+//     element-for-element identical to Aggregate over the full record
+//     trace (cells at or below TraceLimit ranks);
+//   - failure accounting: each injected failure loses no more work under
+//     group restart than under global restart, and strikes exactly the
+//     formation group of the failed node;
+//   - liveness: every cell finishes before a generous virtual-time
+//     horizon — a dropped delivery starving a receiver under periodic
+//     checkpointing never drains the event queue, so without a horizon
+//     it would simulate forever rather than deadlock;
+//   - determinism: the rendered table is byte-identical between the
+//     instrumented parallel sweep and an uninstrumented serial re-run —
+//     observation never perturbs the simulation, and worker count and
+//     repetition never change results.
+//
+// A cell that fails to run (deadlock, horizon, engine error) is itself
+// reported as a violation: the oracle's verdict is always a Report.
+func Check(s *scenario.Spec, cfg CheckConfig) *Report {
+	rep := &Report{Spec: s}
+	ins := scenario.Instrument{
+		Inspect:       true,
+		Comm:          true,
+		TraceMaxScale: cfg.traceLimit(),
+		HorizonS:      cfg.horizonS(),
+	}
+	var mu sync.Mutex
+	obs := func(c scenario.Cell, res *harness.Result) error {
+		v := checkCell(c, res)
+		mu.Lock()
+		rep.Cells++
+		rep.Violations = append(rep.Violations, v...)
+		mu.Unlock()
+		return nil
+	}
+	table, err := s.RunObserved(cfg.Workers, ins, obs)
+	sort.Strings(rep.Violations) // observer order is worker-dependent
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("liveness/run: %v", err))
+		return rep
+	}
+
+	if !cfg.SkipDeterminism {
+		again, err := s.RunObserved(1, scenario.Instrument{HorizonS: cfg.horizonS()}, nil)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("liveness/run (serial re-run): %v", err))
+			return rep
+		}
+		if table.String() != again.String() {
+			rep.Violations = append(rep.Violations,
+				"determinism: instrumented parallel sweep and uninstrumented serial re-run render different tables")
+		}
+	}
+	return rep
+}
+
+// checkCell verifies every per-cell invariant and returns the violations.
+func checkCell(c scenario.Cell, res *harness.Result) []string {
+	var v []string
+	fail := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf("cell{n=%d %s rep=%d seed=%d}: ", c.Scale, c.Mode, c.Rep, c.Seed)+
+			fmt.Sprintf(format, args...))
+	}
+
+	// Conservation, by counts.
+	st := res.MsgStats
+	if st.Sends != st.Delivered {
+		fail("conservation: %d sends but %d deliveries", st.Sends, st.Delivered)
+	}
+	if st.Delivered != st.Consumed {
+		fail("conservation: %d deliveries but %d receives consumed", st.Delivered, st.Consumed)
+	}
+	if res.QueuedApp != 0 {
+		fail("conservation: %d application messages left queued at termination", res.QueuedApp)
+	}
+
+	// Conservation, by bytes, per ordered flow.
+	for _, f := range res.Flows {
+		if f.Sent != f.Recvd || f.Recvd != f.Consumed {
+			fail("flow %d→%d: sent %d, transport-received %d, app-consumed %d bytes",
+				f.Src, f.Dst, f.Sent, f.Recvd, f.Consumed)
+		}
+	}
+
+	// Pool integrity.
+	if st.DoubleFrees != 0 {
+		fail("pool: %d double-freed envelopes", st.DoubleFrees)
+	}
+	if st.FreeLen != st.PoolFreed-st.PoolReused {
+		fail("pool: free list holds %d envelopes, accounting says %d freed − %d reused = %d",
+			st.FreeLen, st.PoolFreed, st.PoolReused, st.PoolFreed-st.PoolReused)
+	}
+
+	// The formation every mode resolved to must be a disjoint cover of the
+	// ranks (Algorithm 2's output contract, whatever path produced it).
+	if err := res.Formation.Validate(); err != nil {
+		fail("formation: %v", err)
+	}
+
+	// Cut consistency within groups.
+	v = append(v, checkCuts(c, res.Cuts)...)
+
+	// Log coverage across groups (group-based modes only; VCL keeps none).
+	if res.Logs != nil {
+		for _, f := range res.Flows {
+			if res.Formation.SameGroup(f.Src, f.Dst) || f.Sent == 0 {
+				continue
+			}
+			l := res.Logs[f.Src].Get(f.Dst)
+			if l == nil {
+				fail("log: inter-group flow %d→%d (%d bytes) has no sender log", f.Src, f.Dst, f.Sent)
+				continue
+			}
+			if l.Total != f.Sent {
+				fail("log: flow %d→%d sent %d bytes but logged %d", f.Src, f.Dst, f.Sent, l.Total)
+			}
+			if l.GCOffset() > f.Consumed {
+				fail("log: flow %d→%d GC watermark %d beyond the %d bytes the receiver consumed",
+					f.Src, f.Dst, l.GCOffset(), f.Consumed)
+			}
+		}
+	}
+
+	// Streaming CommMatrix ≡ full-trace aggregation, pairs and totals.
+	if res.Trace != nil && res.Comm != nil {
+		want := trace.Aggregate(res.Trace)
+		got := res.Comm.Pairs()
+		if len(want) != len(got) {
+			fail("commmatrix: %d aggregated pairs from the record trace, %d from the matrix", len(want), len(got))
+		} else {
+			for i := range want {
+				if want[i] != got[i] {
+					fail("commmatrix: pair %d differs: trace %+v, matrix %+v", i, want[i], got[i])
+					break
+				}
+			}
+		}
+		sends := 0
+		var bytes int64
+		for _, r := range res.Trace {
+			if !r.Deliver && r.Src != r.Dst {
+				sends++
+				bytes += r.Bytes
+			}
+		}
+		if res.Comm.Sends() != sends || res.Comm.TotalBytes() != bytes {
+			fail("commmatrix: totals %d sends/%d bytes vs trace's %d/%d",
+				res.Comm.Sends(), res.Comm.TotalBytes(), sends, bytes)
+		}
+	}
+
+	// Failure accounting.
+	for i, o := range res.Failures {
+		if o.WorkLossGrp < 0 || o.WorkLossGlb < 0 || o.ReplayBytes < 0 {
+			fail("failure %d: negative accounting: %+v", i, o)
+		}
+		if o.WorkLossGrp > o.WorkLossGlb {
+			fail("failure %d at node %d: group restart loses %v, more than global restart's %v",
+				i, o.FailedNode, o.WorkLossGrp, o.WorkLossGlb)
+		}
+		want := res.Formation.Members(o.FailedNode)
+		if !equalInts(o.FailedRanks, want) {
+			fail("failure %d: failed ranks %v are not node %d's formation group %v",
+				i, o.FailedRanks, o.FailedNode, want)
+		}
+	}
+	return v
+}
+
+// checkCuts verifies the in-group cut equality: for every epoch and every
+// ordered member pair (a, b), b's transport had received at b's cut exactly
+// the bytes a had pushed at a's cut. The bookmark/drain protocol guarantees
+// it; a mailbox mismatch, counter bug, or broken drain breaks it.
+func checkCuts(c scenario.Cell, cuts []core.Cut) []string {
+	var v []string
+	byEpoch := map[int]map[int]core.Cut{}
+	for _, cut := range cuts {
+		m := byEpoch[cut.Epoch]
+		if m == nil {
+			m = map[int]core.Cut{}
+			byEpoch[cut.Epoch] = m
+		}
+		m[cut.Rank] = cut
+	}
+	for epoch, m := range byEpoch {
+		for _, cut := range m {
+			for mem, recvd := range cut.InGroupRecvd {
+				peer, ok := m[mem]
+				if !ok {
+					v = append(v, fmt.Sprintf(
+						"cell{n=%d %s rep=%d seed=%d}: cut: epoch %d rank %d drained member %d, which recorded no cut",
+						c.Scale, c.Mode, c.Rep, c.Seed, epoch, cut.Rank, mem))
+					continue
+				}
+				if sent := peer.InGroupSent[cut.Rank]; recvd != sent {
+					v = append(v, fmt.Sprintf(
+						"cell{n=%d %s rep=%d seed=%d}: cut: epoch %d rank %d received %d bytes from %d at its cut, but %d had sent %d at its own — orphan or in-transit message crossing the cut",
+						c.Scale, c.Mode, c.Rep, c.Seed, epoch, cut.Rank, recvd, mem, mem, sent))
+				}
+			}
+		}
+	}
+	sort.Strings(v) // map iteration order
+	return v
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

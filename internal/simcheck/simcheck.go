@@ -1,0 +1,223 @@
+// Package simcheck is the simulator's randomized self-verification
+// subsystem: a seeded scenario generator that composes cluster profiles ×
+// workloads × rank counts × failure processes × checkpoint policies into
+// valid scenario.Specs far beyond the hand-written examples, and an
+// invariant oracle that runs each generated spec and machine-checks the
+// conservation and consistency properties every layer of the stack promises
+// (see Check). The paper's claims only hold if the simulator is
+// trustworthy; after three hot-path rewrites protected mainly by golden
+// diffs, simcheck turns every future refactor into a push-button
+// verification: `gbcheck -n 50 -seed 1`, or a long overnight sweep, or the
+// FuzzScenario native-fuzzing entry.
+//
+// Everything is deterministic: a generator seed fully determines the spec,
+// and the spec's own seed fully determines every simulation cell, so a
+// failing seed printed by gbcheck reproduces the violation exactly.
+package simcheck
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/scenario"
+)
+
+// GenConfig bounds the generator. The zero value selects the quick-sweep
+// defaults used by `make check-smoke`.
+type GenConfig struct {
+	// MaxRanks caps generated rank counts (minimum 16, default 64).
+	// Overnight sweeps raise it — the generator composes scales up to
+	// 16384 when allowed, the regime the PR 3 fast path exists for.
+	MaxRanks int
+}
+
+func (c GenConfig) maxRanks() int {
+	if c.MaxRanks <= 0 {
+		return 64
+	}
+	if c.MaxRanks < 16 {
+		return 16
+	}
+	return c.MaxRanks
+}
+
+// Generate derives one valid scenario spec from seed. Identical seeds
+// produce identical specs; the spec's every field (including its own
+// simulation seed) is a pure function of seed and cfg. Generate panics if
+// it ever produces a spec the scenario validator rejects — that is a
+// generator bug, and the panic message carries the reproducing seed.
+func Generate(seed int64, cfg GenConfig) *scenario.Spec {
+	rng := rand.New(rand.NewSource(seed))
+	max := cfg.maxRanks()
+
+	kind := pick(rng, []string{"synthetic", "synthetic", "cg", "sp", "hpl"})
+	scales := genScales(rng, kind, max)
+	maxScale := scales[len(scales)-1]
+
+	s := &scenario.Spec{
+		Name:     fmt.Sprintf("gen-%d", seed),
+		Notes:    fmt.Sprintf("simcheck-generated (seed %d, maxRanks %d)", seed, max),
+		Cluster:  genCluster(rng),
+		Workload: genWorkload(rng, kind),
+		Scales:   scales,
+		Reps:     1 + rng.Intn(2),
+		Seed:     1 + rng.Int63n(1_000_000),
+	}
+
+	// Failure processes ride on ~60% of scenarios. Deciding before the
+	// modes keeps VCL (which cannot be evaluated under injection) out of
+	// failing scenarios by construction.
+	if rng.Intn(10) < 6 {
+		f := &scenario.FailureSpec{
+			MTBFS: 0.5 + rng.Float64()*9.5,
+		}
+		if rng.Intn(2) == 0 {
+			f.Process = "poisson"
+		} else {
+			f.Process = "weibull"
+			f.Shape = 0.5 + rng.Float64()
+		}
+		if rng.Intn(3) == 0 {
+			f.Max = 4 + rng.Intn(28)
+		}
+		s.Failures = f
+	}
+	s.Modes = genModes(rng, maxScale, s.Failures == nil)
+	s.Checkpoint = genCheckpoint(rng)
+
+	if rng.Intn(4) == 0 {
+		s.GroupMax = 2 + rng.Intn(7)
+	}
+	if rng.Intn(10) == 0 {
+		s.RemoteServers = 1 + rng.Intn(4)
+		s.RemoteAsync = rng.Intn(2) == 0
+	}
+
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("simcheck: generator seed %d produced an invalid spec: %v", seed, err))
+	}
+	return s
+}
+
+// genScales draws one or two distinct rank counts valid for the workload
+// kind, ascending, each ≤ max.
+func genScales(rng *rand.Rand, kind string, max int) []int {
+	one := func() int {
+		switch kind {
+		case "cg":
+			// Powers of two in [2, max].
+			maxExp := int(math.Log2(float64(max)))
+			return 1 << (1 + rng.Intn(maxExp))
+		case "hpl":
+			// Multiples of 8 in [8, max].
+			return 8 * (1 + rng.Intn(max/8))
+		case "sp":
+			// Squares in [4, max].
+			root := int(math.Sqrt(float64(max)))
+			k := 2 + rng.Intn(root-1)
+			return k * k
+		default: // synthetic: anything ≥ 2
+			return 2 + rng.Intn(max-1)
+		}
+	}
+	scales := []int{one()}
+	if rng.Intn(2) == 0 {
+		if n := one(); n != scales[0] {
+			scales = append(scales, n)
+		}
+	}
+	if len(scales) == 2 && scales[0] > scales[1] {
+		scales[0], scales[1] = scales[1], scales[0]
+	}
+	return scales
+}
+
+// genModes draws a non-empty mode subset sized to the scenario's largest
+// scale: global coordination (NORM) and wide ad-hoc groups (GP4) checkpoint
+// continuously past a few hundred ranks (the paper's pathology), and GP's
+// tracing pass is only cheap up to ~512 ranks, so big scales stick to GP1.
+func genModes(rng *rand.Rand, maxScale int, allowVCL bool) []string {
+	eligible := []string{"GP1"}
+	if maxScale <= 512 {
+		eligible = append(eligible, "GP", "GP4")
+	}
+	if maxScale <= 64 {
+		eligible = append(eligible, "NORM")
+		if allowVCL {
+			eligible = append(eligible, "VCL")
+		}
+	}
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	n := 1 + rng.Intn(min(3, len(eligible)))
+	return append([]string{}, eligible[:n]...)
+}
+
+// genCheckpoint draws a checkpoint policy: periodic, one-shot, both, or
+// (rarely) none at all — the oracle's conservation invariants must hold
+// with zero epochs too.
+func genCheckpoint(rng *rand.Rand) scenario.CheckpointSpec {
+	var ck scenario.CheckpointSpec
+	switch rng.Intn(8) {
+	case 0: // none
+	case 1, 2: // one-shot
+		ck.AtS = 0.2 + rng.Float64()*3
+	default: // periodic, sometimes with a one-shot too
+		ck.IntervalS = 0.2 + rng.Float64()*4
+		if rng.Intn(2) == 0 {
+			ck.StartS = 0.2 + rng.Float64()*2
+		}
+		if rng.Intn(2) == 0 {
+			ck.MaxCount = 1 + rng.Intn(4)
+		}
+		if rng.Intn(4) == 0 {
+			ck.AtS = 0.2 + rng.Float64()*2
+		}
+	}
+	return ck
+}
+
+// genCluster draws a hardware calibration: one of the named profiles,
+// sometimes with operator-style overrides (including disabled jitter).
+func genCluster(rng *rand.Rand) scenario.ClusterSpec {
+	c := scenario.ClusterSpec{Profile: pick(rng, []string{"gideon", "modern"})}
+	if rng.Intn(3) == 0 {
+		c.GFlops = 0.5 + rng.Float64()*7.5
+		c.NICMBps = 10 + rng.Float64()*1000
+		c.LatencyUs = 20 + rng.Float64()*400
+	}
+	if rng.Intn(4) == 0 {
+		j := 0.0
+		if rng.Intn(2) == 0 {
+			j = rng.Float64() * 0.02
+		}
+		c.JitterFrac = &j
+	}
+	return c
+}
+
+// genWorkload draws the workload parameters, sized so a cell simulates in
+// tens of milliseconds of wall clock at quick-sweep scales.
+func genWorkload(rng *rand.Rand, kind string) scenario.WorkloadSpec {
+	w := scenario.WorkloadSpec{Kind: kind}
+	switch kind {
+	case "synthetic":
+		w.Iters = 4 + rng.Intn(20)
+		w.RingKB = 1 + int64(rng.Intn(128))
+		w.CrossKB = 1 + int64(rng.Intn(32))
+		w.CrossEach = 1 + rng.Intn(6)
+		w.MFlopsPerIter = 10 + rng.Float64()*190
+		w.ImageMB = 1 + int64(rng.Intn(8))
+	case "cg":
+		w.NA = 2000 + rng.Intn(30000)
+		w.NIter = 3 + rng.Intn(8)
+	case "sp":
+		w.Problem = 12 + rng.Intn(24)
+		w.NIter = 3 + rng.Intn(6)
+	case "hpl":
+		w.Problem = 1000 + rng.Intn(3000)
+	}
+	return w
+}
+
+func pick(rng *rand.Rand, opts []string) string { return opts[rng.Intn(len(opts))] }

@@ -4,7 +4,7 @@
 GO ?= go
 SHORT_SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)
 
-.PHONY: build test race bench bench-json bench-diff fuzz-smoke smoke check-smoke lint ci
+.PHONY: build test race bench bench-json bench-diff fuzz-smoke smoke examples-smoke check-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -57,27 +57,42 @@ fuzz-smoke:
 check-smoke:
 	$(GO) run ./cmd/gbcheck -n 100 -seed 1 -max-ranks 64
 
-# End-to-end CLI smoke: one figure reproduction, then the shipped example
-# scenario diffed against its golden table. The scenario engine guarantees
-# byte-identical output at any worker count, so the diff is exact.
+# End-to-end CLI smoke: the -list inventory, one figure reproduction, then
+# the shipped example scenario diffed against its golden table. The scenario
+# engine guarantees byte-identical output at any worker count, so the diff
+# is exact.
 smoke:
+	$(GO) run ./cmd/gbexp -list > /dev/null
 	$(GO) run ./cmd/gbexp -exp fig5 -quick -parallel 2 > /dev/null
 	$(GO) run ./cmd/gbexp -scenario examples/scenarios/modern-weibull.json \
 		| diff -u examples/scenarios/modern-weibull.golden -
 	@echo smoke ok
 
-# staticcheck runs only where the tool is installed (CI installs it; a bare
-# local toolchain must still be able to lint).
+# Build AND run every example as a smoke test: the examples are the gb
+# facade's living documentation, so they must keep executing, not just
+# compiling.
+examples-smoke:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart > /dev/null
+	$(GO) run ./examples/hpl > /dev/null
+	$(GO) run ./examples/cgfailure > /dev/null
+	@echo examples ok
+
+# staticcheck is a blocking lint step: CI installs it and fails the build on
+# findings. A bare local toolchain can opt out with STATICCHECK=off.
 lint:
 	@fmtout=$$(gofmt -l .); \
 	if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 	$(GO) vet ./...
-	@if command -v staticcheck >/dev/null 2>&1; then \
+	@if [ "$(STATICCHECK)" = "off" ]; then \
+		echo "staticcheck disabled (STATICCHECK=off)"; \
+	elif command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./... ; \
 	else \
-		echo "staticcheck not installed; skipping"; \
+		echo "staticcheck not installed (install it, or set STATICCHECK=off to skip)"; \
+		exit 1; \
 	fi
 
-ci: lint build race bench smoke check-smoke fuzz-smoke
+ci: lint build race bench smoke examples-smoke check-smoke fuzz-smoke

@@ -12,6 +12,7 @@ package repro
 // numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"runtime"
 	"strconv"
 	"strings"
@@ -53,7 +54,7 @@ func lastMean(tb testing.TB, t *stats.Table, row, col int) float64 {
 func BenchmarkFig01CoordinationCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		t, err := harness.Fig1(quickOpts())
+		t, err := harness.Fig1(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func BenchmarkFig01CoordinationCost(b *testing.B) {
 func BenchmarkFig02VCLBlocking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		r, err := harness.Fig2(quickOpts())
+		r, err := harness.Fig2(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func BenchmarkFig02VCLBlocking(b *testing.B) {
 func BenchmarkTable1GroupFormation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		t, err := harness.Table1(quickOpts())
+		t, err := harness.Table1(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func BenchmarkTable1GroupFormation(b *testing.B) {
 func BenchmarkFig05ExecutionTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		a, _, err := harness.Fig5(quickOpts())
+		a, _, err := harness.Fig5(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func BenchmarkFig05ExecutionTime(b *testing.B) {
 func BenchmarkFig06CkptRestartAggregates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		a, _, err := harness.Fig6(quickOpts())
+		a, _, err := harness.Fig6(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func BenchmarkFig06CkptRestartAggregates(b *testing.B) {
 func BenchmarkFig07ResendData(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		t, err := harness.Fig7(quickOpts())
+		t, err := harness.Fig7(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func BenchmarkFig07ResendData(b *testing.B) {
 func BenchmarkFig08ResendOps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		t, err := harness.Fig8(quickOpts())
+		t, err := harness.Fig8(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func BenchmarkFig08ResendOps(b *testing.B) {
 func BenchmarkFig09StageBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		t, err := harness.Fig9(quickOpts())
+		t, err := harness.Fig9(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFig09StageBreakdown(b *testing.B) {
 func BenchmarkFig10PeriodicCheckpoints(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		t, err := harness.Fig10(quickOpts())
+		t, err := harness.Fig10(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkFig10PeriodicCheckpoints(b *testing.B) {
 func BenchmarkFig11CGClassC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		a, _, err := harness.Fig11(quickOpts())
+		a, _, err := harness.Fig11(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func BenchmarkFig11CGClassC(b *testing.B) {
 func BenchmarkFig12SPClassC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		a, _, err := harness.Fig12(quickOpts())
+		a, _, err := harness.Fig12(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func BenchmarkFig12SPClassC(b *testing.B) {
 func BenchmarkFig13RemoteStorageScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		t, err := harness.Fig13(quickOpts())
+		t, err := harness.Fig13(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +190,7 @@ func BenchmarkFig13RemoteStorageScale(b *testing.B) {
 func BenchmarkFig14AvgCheckpointTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
-		t, err := harness.Fig14(quickOpts())
+		t, err := harness.Fig14(context.Background(), quickOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +215,7 @@ func BenchmarkParallelWorkers(b *testing.B) {
 			o.Workers = tc.workers
 			for i := 0; i < b.N; i++ {
 				harness.ResetCaches()
-				a, _, err := harness.Fig5(o)
+				a, _, err := harness.Fig5(context.Background(), o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -235,7 +236,7 @@ func BenchmarkAblationGroupSize(b *testing.B) {
 		b.Run("G"+strconv.Itoa(g), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				harness.ResetCaches()
-				res, err := harness.Run(harness.Spec{
+				res, err := harness.Run(context.Background(), harness.Spec{
 					WL:       workload.NewHPL(5760, 32),
 					Mode:     harness.GP,
 					Seed:     int64(i),
@@ -276,14 +277,14 @@ func BenchmarkAblationNetworkSpeed(b *testing.B) {
 					Cluster: cfg,
 					Sched:   harness.Schedule{At: 4 * sim.Second},
 				}
-				res, err := harness.Run(spec)
+				res, err := harness.Run(context.Background(), spec)
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.ReportMetric(harness.AggregateCoordination(res.Records).Seconds(), "agg_coord_s")
 
 				spec.Mode = harness.GP1 // every channel logged
-				gp, err := harness.Run(spec)
+				gp, err := harness.Run(context.Background(), spec)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -328,7 +329,8 @@ func BenchmarkAblationDynamicGrouping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		harness.ResetCaches()
 		wl := workload.NewSynthetic(16, 100)
-		res, err := harness.Run(harness.Spec{WL: wl, Mode: harness.NORM, Seed: 1, Trace: true})
+		res, err := harness.Run(context.Background(), harness.Spec{WL: wl, Mode: harness.NORM, Seed: 1,
+			Observers: []harness.Observer{harness.NewTraceObserver()}})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,12 +22,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
-	"repro/internal/simcheck"
+	"repro/gb"
 )
 
 func main() {
@@ -44,18 +47,28 @@ func main() {
 		*seed = 1
 	}
 
-	cfg := simcheck.CheckConfig{Workers: *parallel, SkipDeterminism: *quick}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	cfg := gb.CheckConfig{Workers: *parallel, SkipDeterminism: *quick}
 	failed := 0
 	cells := 0
 	for i := 0; i < *n; i++ {
 		genSeed := *seed + int64(i)
-		spec := simcheck.Generate(genSeed, simcheck.GenConfig{MaxRanks: *maxRanks})
+		spec := gb.GenerateScenario(genSeed, *maxRanks)
 		if *verbose {
 			if out, err := spec.Marshal(); err == nil {
 				fmt.Printf("--- seed %d\n%s\n", genSeed, out)
 			}
 		}
-		rep := simcheck.Check(spec, cfg)
+		rep := gb.CheckScenario(ctx, spec, cfg)
+		if ctx.Err() != nil {
+			// Interrupted: the aborted sweep is not an invariant verdict,
+			// and neither are the scenarios that never ran — do not print
+			// misleading FAILures or repro commands for them.
+			fmt.Fprintf(os.Stderr, "gbcheck: interrupted after %d of %d scenarios (%d cells)\n", i, *n, cells)
+			os.Exit(130)
+		}
 		cells += rep.Cells
 		if rep.Ok() {
 			fmt.Printf("ok   seed=%-6d %-12s %s×%v modes=%v cells=%d\n",

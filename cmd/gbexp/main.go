@@ -1,8 +1,10 @@
 // gbexp reproduces the paper's tables and figures by id and prints the rows
-// or series each one reports, or runs a declarative scenario spec.
+// or series each one reports, or runs a declarative scenario spec. It is
+// built entirely on the public gb facade.
 //
 // Usage:
 //
+//	gbexp -list                 # registered experiment ids and scenarios
 //	gbexp -exp fig1             # one experiment
 //	gbexp -exp all              # everything (paper-scale; takes a few minutes)
 //	gbexp -exp all -parallel 8  # fan runs across 8 workers (same output)
@@ -13,7 +15,8 @@
 //
 // Simulation runs are independent and deterministically seeded, so -parallel
 // only changes wall-clock time: tables are byte-identical at any worker
-// count.
+// count. Interrupting gbexp (SIGINT/SIGTERM) cancels the in-flight runs
+// cleanly through the context.
 //
 // Seeds are pure inputs everywhere: figure experiments use fixed per-point
 // seeds, and a scenario spec's "seed" field (0 = the deterministic default
@@ -23,27 +26,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
-	"repro/internal/harness"
-	"repro/internal/scenario"
-	"repro/internal/stats"
+	"repro/gb"
 	"repro/internal/viz"
 )
 
 func main() {
 	var (
+		list = flag.Bool("list", false,
+			"print registered experiment ids and built-in scenario names, then exit")
 		exp = flag.String("exp", "all",
-			"experiment id: "+strings.Join(harness.IDs(), " ")+" | all")
+			"experiment id: "+strings.Join(gb.ExperimentIDs(), " ")+" | all")
 		scn = flag.String("scenario", "",
 			"run a declarative scenario instead of -exp: a JSON spec file or a built-in profile ("+
-				strings.Join(scenario.BuiltInNames(), ", ")+")")
+				strings.Join(gb.ScenarioNames(), ", ")+")")
 		quick     = flag.Bool("quick", false, "reduced problem sizes and repetitions")
 		reps      = flag.Int("reps", 0, "repetitions per point (0 = paper's 5, or 2 with -quick)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "simulation runs to execute concurrently (1 = serial)")
@@ -53,6 +59,14 @@ func main() {
 	)
 	flag.Parse()
 	plotTables = *plot
+
+	if *list {
+		printList()
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *scn != "" {
 		// A scenario spec carries its own scales, sizes, and reps; the
@@ -70,38 +84,51 @@ func main() {
 				strings.Join(clash, " "))
 			os.Exit(2)
 		}
-		if err := runScenario(*scn, *parallel, *tsv); err != nil {
+		if err := runScenario(ctx, *scn, *parallel, *tsv); err != nil {
 			fmt.Fprintf(os.Stderr, "gbexp: scenario %s: %v\n", *scn, err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	o := harness.Options{Quick: *quick, Reps: *reps, Workers: *parallel}
+	o := gb.ExperimentOptions{Quick: *quick, Reps: *reps, Workers: *parallel}
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = harness.IDs()
+		ids = gb.ExperimentIDs()
 	}
 	for _, id := range ids {
-		if err := runOne(strings.TrimSpace(id), o, *timelines, *tsv); err != nil {
+		if err := runOne(ctx, strings.TrimSpace(id), o, *timelines, *tsv); err != nil {
 			fmt.Fprintf(os.Stderr, "gbexp: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 	}
 }
 
+// printList enumerates everything runnable: the experiment registry with
+// titles, and the built-in scenario profiles.
+func printList() {
+	fmt.Println("experiments (-exp):")
+	for _, e := range gb.Experiments() {
+		fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+	}
+	fmt.Println("built-in scenarios (-scenario):")
+	for _, name := range gb.ScenarioNames() {
+		fmt.Printf("  %s\n", name)
+	}
+}
+
 // runScenario resolves arg as a built-in profile name first, then as a spec
 // file path, and runs the sweep.
-func runScenario(arg string, workers int, tsv bool) error {
-	s, ok := scenario.BuiltIn(arg)
+func runScenario(ctx context.Context, arg string, workers int, tsv bool) error {
+	s, ok := gb.BuiltinScenario(arg)
 	if !ok {
 		var err error
-		s, err = scenario.Load(arg)
+		s, err = gb.LoadScenario(arg)
 		if err != nil {
 			return err
 		}
 	}
-	t, err := s.Run(workers)
+	t, err := gb.SweepTable(ctx, s, gb.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
@@ -111,7 +138,7 @@ func runScenario(arg string, workers int, tsv bool) error {
 
 var plotTables bool
 
-func emit(tsv bool, tables ...*stats.Table) {
+func emit(tsv bool, tables ...*gb.Table) {
 	for _, t := range tables {
 		if t == nil {
 			continue
@@ -133,7 +160,7 @@ func emit(tsv bool, tables ...*stats.Table) {
 // tableToPlot converts a numeric table (first column = x) to a chart.
 // Cells of the form "mean±σ" plot their mean; non-numeric columns are
 // skipped. Returns nil if nothing is plottable.
-func tableToPlot(t *stats.Table) *viz.Plot {
+func tableToPlot(t *gb.Table) *viz.Plot {
 	if len(t.Rows) < 2 || len(t.Columns) < 2 {
 		return nil
 	}
@@ -178,11 +205,11 @@ func tableToPlot(t *stats.Table) *viz.Plot {
 	return p
 }
 
-func runOne(id string, o harness.Options, timelines, tsv bool) error {
+func runOne(ctx context.Context, id string, o gb.ExperimentOptions, timelines, tsv bool) error {
 	// fig2 with -timelines needs the trace diagrams the registry's uniform
 	// table interface does not carry.
 	if id == "fig2" && timelines {
-		r, err := harness.Fig2(o)
+		r, err := gb.Fig2(ctx, o)
 		if err != nil {
 			return err
 		}
@@ -197,11 +224,11 @@ func runOne(id string, o harness.Options, timelines, tsv bool) error {
 		}
 		return nil
 	}
-	e, ok := harness.Lookup(id)
+	e, ok := gb.LookupExperiment(id)
 	if !ok {
-		return fmt.Errorf("unknown experiment id %q (have %s)", id, strings.Join(harness.IDs(), " "))
+		return fmt.Errorf("unknown experiment id %q (have %s)", id, strings.Join(gb.ExperimentIDs(), " "))
 	}
-	tables, err := e.Run(o)
+	tables, err := e.Run(ctx, o)
 	if err != nil {
 		return err
 	}

@@ -1,12 +1,13 @@
 package main
 
 import (
+	"context"
 	"os"
 	"os/exec"
 	"strings"
 	"testing"
 
-	"repro/internal/harness"
+	"repro/gb"
 )
 
 // TestMain lets the test binary re-exec itself as the real CLI, so exit
@@ -37,7 +38,7 @@ func TestUnknownExperimentIDExitsNonZero(t *testing.T) {
 		t.Errorf("error does not name the bad id:\n%s", out)
 	}
 	// The error must list the valid ids, which come from the registry.
-	for _, id := range harness.IDs() {
+	for _, id := range gb.ExperimentIDs() {
 		if !strings.Contains(out, id) {
 			t.Errorf("error does not offer registered id %q:\n%s", id, out)
 		}
@@ -63,13 +64,33 @@ func TestUnknownScenarioExitsNonZero(t *testing.T) {
 	}
 }
 
+// TestListFlagPrintsRegistryAndScenarios: -list must enumerate every
+// registered experiment id with its title and every built-in scenario
+// profile, and exit 0.
+func TestListFlagPrintsRegistryAndScenarios(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatalf("-list failed: %v\n%s", err, out)
+	}
+	for _, e := range gb.Experiments() {
+		if !strings.Contains(out, e.ID) || !strings.Contains(out, e.Title) {
+			t.Errorf("-list is missing experiment %q (%q):\n%s", e.ID, e.Title, out)
+		}
+	}
+	for _, name := range gb.ScenarioNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list is missing built-in scenario %q:\n%s", name, out)
+		}
+	}
+}
+
 func TestRunOneUsesRegistry(t *testing.T) {
-	err := runOne("nope", harness.Options{}, false, false)
+	err := runOne(context.Background(), "nope", gb.ExperimentOptions{}, false, false)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment id") {
 		t.Fatalf("runOne(nope) = %v, want unknown-id error", err)
 	}
-	for _, id := range harness.IDs() {
-		if _, ok := harness.Lookup(id); !ok {
+	for _, id := range gb.ExperimentIDs() {
+		if _, ok := gb.LookupExperiment(id); !ok {
 			t.Errorf("id %q listed but not resolvable", id)
 		}
 	}

@@ -1,6 +1,7 @@
 // gbrun executes a workload under a checkpoint protocol and prints a timing
 // report: execution time, per-checkpoint stage breakdown, logging volume,
-// and (optionally) a simulated restart.
+// and (optionally) a simulated restart. It is built entirely on the public
+// gb facade.
 //
 // Usage:
 //
@@ -10,18 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"repro/gb"
 	"repro/internal/ckpt"
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/group"
-	"repro/internal/harness"
-	"repro/internal/mpi"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -30,7 +28,7 @@ func main() {
 		procs    = flag.Int("procs", 32, "number of processes")
 		hplN     = flag.Int("N", 20000, "HPL problem size")
 		quick    = flag.Bool("quick", false, "shrink the problem for a fast run")
-		mode     = flag.String("mode", "GP", "protocol: GP | GP1 | GP4 | NORM | VCL")
+		mode     = flag.String("mode", "GP", "protocol: GP | GP1 | GP4 | NORM | VCL | NONE")
 		at       = flag.Float64("at", 0, "single checkpoint at this many seconds")
 		interval = flag.Float64("interval", 0, "periodic checkpoint interval in seconds")
 		maxCkpt  = flag.Int("maxckpt", 0, "cap on periodic checkpoints (0 = unlimited)")
@@ -42,40 +40,46 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	wl, err := makeWorkload(*wlName, *procs, *hplN, *quick)
 	if err != nil {
 		fatal(err)
 	}
 
-	// A custom group definition file bypasses the harness formation logic
-	// (the paper's "subsequent executions may use the same group
-	// definition file").
-	if *groups != "" && harness.Mode(*mode) == harness.GP {
-		if err := runWithGroupFile(wl, *groups, *at, *interval, *maxCkpt, *servers, *seed, *restart); err != nil {
-			fatal(err)
-		}
-		return
+	opts := []gb.Option{
+		gb.WithMode(gb.Mode(*mode)),
+		gb.WithSeed(*seed),
+		gb.WithSchedule(gb.Schedule{
+			At:       gb.Seconds(*at),
+			Interval: gb.Seconds(*interval),
+			MaxCount: *maxCkpt,
+		}),
+		gb.WithRemoteStorage(gb.RemoteStorage{Servers: *servers}),
+		gb.WithGroupMax(*gmax),
 	}
 
-	spec := harness.Spec{
-		WL:   wl,
-		Mode: harness.Mode(*mode),
-		Seed: *seed,
-		Sched: harness.Schedule{
-			At:       sim.Seconds(*at),
-			Interval: sim.Seconds(*interval),
-			MaxCount: *maxCkpt,
-		},
-		RemoteServers: *servers,
-		GroupMax:      *gmax,
+	// A custom group definition file replaces the trace-derived formation
+	// (the paper's "subsequent executions may use the same group
+	// definition file").
+	groupsFrom := ""
+	if *groups != "" && gb.Mode(*mode) == gb.GP {
+		f, err := readFormation(*groups, wl.Procs())
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, gb.WithFormation(f))
+		groupsFrom = *groups
 	}
-	res, err := harness.Run(spec)
+
+	res, err := gb.Run(ctx, wl, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	report(res)
+	report(res, groupsFrom)
 	if *restart {
-		out, err := harness.Restart(res, *seed+1)
+		out, err := gb.Restart(res, *seed+1)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,9 +87,22 @@ func main() {
 	}
 }
 
-func report(res *harness.Result) {
+func readFormation(path string, n int) (gb.Formation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return gb.Formation{}, err
+	}
+	defer f.Close()
+	return gb.ReadFormation(f, n)
+}
+
+func report(res *gb.Result, groupsFrom string) {
 	fmt.Printf("workload        %s\n", res.Spec.WL.Name())
-	fmt.Printf("mode            %s\n", res.Name)
+	if groupsFrom != "" {
+		fmt.Printf("mode            %s (groups from %s)\n", res.Name, groupsFrom)
+	} else {
+		fmt.Printf("mode            %s\n", res.Name)
+	}
 	fmt.Printf("groups          %d (max size %d)\n", len(res.Formation.Groups), res.Formation.MaxGroupSize())
 	fmt.Printf("execution time  %v\n", res.ExecTime)
 	fmt.Printf("checkpoints     %d epochs, %d rank-checkpoints\n", res.Epochs, len(res.Records))
@@ -99,94 +116,34 @@ func report(res *harness.Result) {
 	fmt.Printf("sim events      %d\n", res.Events)
 }
 
-func reportRestart(out core.RestartOutcome) {
+func reportRestart(out gb.RestartOutcome) {
 	fmt.Printf("restart         agg %v, makespan %v\n", out.AggregateRestartTime(), out.MakespanEnd)
 	fmt.Printf("  resend        %d bytes in %d sessions (%d logged msgs), %d skipped\n",
 		out.ResendBytes, out.ResendOps, out.ResendMsgs, out.SkipBytes)
 }
 
-// runWithGroupFile wires the engine manually so the formation comes from a
-// file instead of a tracing pass.
-func runWithGroupFile(wl workload.Workload, path string, at, interval float64, maxCkpt, servers int, seed int64, doRestart bool) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	formation, err := group.ReadFrom(f, wl.Procs())
-	if err != nil {
-		return err
-	}
-	k := sim.NewKernel(seed)
-	cfg := cluster.Gideon()
-	c := cluster.New(k, wl.Procs(), cfg)
-	w := mpi.NewWorld(k, c, wl.Procs())
-	var store cluster.Storage = cluster.LocalDisk{}
-	if servers > 0 {
-		store = cluster.NewRemoteStore(c, servers, 12.5e6, 40e6)
-	}
-	ecfg := core.DefaultConfig(formation, wl.ImageBytes)
-	ecfg.Store = store
-	e := core.NewEngine(w, ecfg)
-	if at > 0 {
-		e.ScheduleAt(sim.Seconds(at), nil)
-	}
-	if interval > 0 {
-		e.SchedulePeriodic(sim.Seconds(interval), sim.Seconds(interval), maxCkpt)
-	}
-	w.Launch(wl.Body)
-	if err := k.Run(); err != nil {
-		return err
-	}
-	var exec sim.Time
-	for _, r := range w.Ranks {
-		if r.FinishTime > exec {
-			exec = r.FinishTime
-		}
-	}
-	fmt.Printf("workload        %s\n", wl.Name())
-	fmt.Printf("mode            %s (groups from %s)\n", e.Name(), path)
-	fmt.Printf("execution time  %v\n", exec)
-	fmt.Printf("checkpoints     %d epochs, %d rank-checkpoints\n", e.Epochs(), len(e.Records()))
-	if len(e.Records()) > 0 {
-		fmt.Printf("agg ckpt time   %v\n", ckpt.AggregateCheckpointTime(e.Records()))
-	}
-	if doRestart {
-		out, err := core.SimulateRestart(core.RestartSpec{
-			N: wl.Procs(), ClusterCfg: cfg, Formation: formation,
-			Snapshots: e.Snapshots(), Logs: e.LogSets(), Seed: seed + 1,
-			RemoteServers: servers, ServerNIC: 12.5e6, ServerDisk: 40e6,
-		})
-		if err != nil {
-			return err
-		}
-		reportRestart(out)
-	}
-	return nil
-}
-
 // makeWorkload mirrors gbtrace's workload construction.
-func makeWorkload(name string, procs, hplN int, quick bool) (workload.Workload, error) {
+func makeWorkload(name string, procs, hplN int, quick bool) (gb.Workload, error) {
 	switch name {
 	case "hpl":
 		if quick && hplN > 5760 {
 			hplN = 5760
 		}
-		return workload.NewHPL(hplN, procs), nil
+		return gb.HPL(hplN, procs), nil
 	case "cg":
-		wl := workload.CGClassC(procs)
+		wl := gb.CG(procs)
 		if quick {
 			wl.NA, wl.NIter = 30000, 20
 		}
 		return wl, nil
 	case "sp":
-		wl := workload.SPClassC(procs)
+		wl := gb.SP(procs)
 		if quick {
 			wl.Problem, wl.NIter = 64, 60
 		}
 		return wl, nil
 	case "synthetic":
-		return workload.NewSynthetic(procs, 200), nil
+		return gb.Synthetic(procs, 200), nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q", name)
 	}

@@ -9,13 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/harness"
+	"repro/gb"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -33,7 +33,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := harness.Run(harness.Spec{WL: wl, Mode: harness.NORM, Seed: *seed, Trace: true})
+	res, err := gb.Run(context.Background(), wl,
+		gb.WithMode(gb.NORM), gb.WithSeed(*seed),
+		gb.WithObserver(gb.NewTraceObserver()))
 	if err != nil {
 		fatal(err)
 	}
@@ -54,27 +56,27 @@ func main() {
 }
 
 // makeWorkload builds a workload from CLI parameters (shared with gbrun).
-func makeWorkload(name string, procs, hplN int, quick bool) (workload.Workload, error) {
+func makeWorkload(name string, procs, hplN int, quick bool) (gb.Workload, error) {
 	switch name {
 	case "hpl":
 		if quick && hplN > 5760 {
 			hplN = 5760
 		}
-		return workload.NewHPL(hplN, procs), nil
+		return gb.HPL(hplN, procs), nil
 	case "cg":
-		wl := workload.CGClassC(procs)
+		wl := gb.CG(procs)
 		if quick {
 			wl.NA, wl.NIter = 30000, 20
 		}
 		return wl, nil
 	case "sp":
-		wl := workload.SPClassC(procs)
+		wl := gb.SP(procs)
 		if quick {
 			wl.Problem, wl.NIter = 64, 60
 		}
 		return wl, nil
 	case "synthetic":
-		return workload.NewSynthetic(procs, 200), nil
+		return gb.Synthetic(procs, 200), nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q (hpl | cg | sp | synthetic)", name)
 	}

@@ -6,7 +6,14 @@
 // this repository rebuilds every layer as a deterministic discrete-event
 // simulation so the protocol behaviours the paper measures — coordination
 // cost growth, non-blocking checkpoints turning blocking, log replay on
-// restart — reproduce on a laptop:
+// restart — reproduce on a laptop.
+//
+// Package gb is the public facade and the single supported way to drive
+// the simulator: gb.Run(ctx, workload, ...Option) for one simulation,
+// gb.Sweep(ctx, spec, ...Option) for a streamed scenario sweep, stacked
+// observers for instrumentation, and typed sentinel errors (ErrBadSpec,
+// ErrHorizon, ErrCanceled). Every cmd/ binary and example is built on it;
+// the layers below are implementation:
 //
 //	internal/sim       discrete-event kernel (direct-handoff scheduling:
 //	                   the blocking process runs the event loop and hands
@@ -23,7 +30,8 @@
 //	                   mpirun controller, restart, and the MPICH-VCL baseline
 //	internal/workload  HPL and NPB CG/SP communication-accurate skeletons
 //	internal/failure   failure injection and group-vs-global recovery
-//	internal/harness   the paper's experiments (Figures 1–14, Table 1)
+//	internal/harness   run assembly (Spec → Result, observer stacking) and
+//	                   the paper's experiments (Figures 1–14, Table 1)
 //	internal/runner    parallel experiment engine: worker pool + memoization
 //	internal/scenario  declarative JSON experiment specs (gbexp -scenario);
 //	                   built-in profiles up to 16384 ranks (scale16k)

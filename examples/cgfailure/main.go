@@ -5,63 +5,74 @@
 // argument — "recovery by a global restart would lose all the useful work
 // done by normal processes".
 //
+// It also demonstrates a user-defined gb.Observer: the failure probe hooks
+// the world before launch, composing with the built-in observers.
+//
 //	go run ./examples/cgfailure
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
+	"repro/gb"
 	"repro/internal/failure"
-	"repro/internal/group"
-	"repro/internal/mpi"
-	"repro/internal/sim"
-	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
+// probeObserver arms a failure probe on the world before launch — a
+// user-defined observer: anything with BeforeRun/AfterRun slots into
+// gb.WithObserver alongside the built-ins.
+type probeObserver struct {
+	at    gb.Time
+	probe failure.Probe
+}
+
+func (o *probeObserver) BeforeRun(env *gb.RunEnv) gb.Tracer {
+	o.probe.Arm(env.World, o.at)
+	return nil
+}
+
+func (o *probeObserver) AfterRun(*gb.Result) {}
+
 func main() {
+	ctx := context.Background()
+
 	const n = 16
-	wl := workload.CGClassC(n)
+	wl := gb.CG(n)
 	wl.NA, wl.NIter = 30000, 60 // shrunk for a fast example
 
 	// Form groups from the streaming communication matrix (the CG grid
-	// rows merge).
-	k0 := sim.NewKernel(1)
-	c0 := cluster.New(k0, n, cluster.Gideon())
-	w0 := mpi.NewWorld(k0, c0, n)
-	m := trace.NewCommMatrix()
-	w0.Tracer = m
-	w0.Launch(wl.Body)
-	if err := k0.Run(); err != nil {
+	// rows merge). Mode None runs the bare application for tracing.
+	comm := gb.NewCommObserver()
+	if _, err := gb.Run(ctx, wl,
+		gb.WithMode(gb.None), gb.WithSeed(1),
+		gb.WithObserver(comm)); err != nil {
 		log.Fatal(err)
 	}
-	f := group.FromMatrix(m, n, group.DefaultMaxSize(n))
+	f := gb.GroupsFromComm(comm.Matrix(), n, 0)
 	fmt.Printf("CG groups from trace: %v\n", f.Groups)
 
-	ckptAt := 4 * sim.Second
-	failAt := 12 * sim.Second
+	ckptAt := 4 * gb.Second
+	failAt := 12 * gb.Second
 	for _, setup := range []struct {
 		name string
-		form group.Formation
+		opts []gb.Option
 	}{
-		{"group-based (GP)", f},
-		{"global (NORM)", group.Global(n)},
+		{"group-based (GP)", []gb.Option{gb.WithMode(gb.GP), gb.WithFormation(f)}},
+		{"global (NORM)", []gb.Option{gb.WithMode(gb.NORM)}},
 	} {
-		k := sim.NewKernel(3)
-		c := cluster.New(k, n, cluster.Gideon())
-		w := mpi.NewWorld(k, c, n)
-		e := core.NewEngine(w, core.DefaultConfig(setup.form, wl.ImageBytes))
-		e.ScheduleAt(ckptAt, nil)
-		pr := &failure.Probe{}
-		pr.Arm(w, failAt)
-		w.Launch(wl.Body)
-		if err := k.Run(); err != nil {
+		pr := &probeObserver{at: failAt}
+		opts := append([]gb.Option{
+			gb.WithSeed(3),
+			gb.WithSchedule(gb.Schedule{At: ckptAt}),
+			gb.WithObserver(pr),
+		}, setup.opts...)
+		res, err := gb.Run(ctx, wl, opts...)
+		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := failure.Evaluate(pr, setup.form, e.Snapshots(), e.LogSets(), 0)
+		out, err := failure.Evaluate(&pr.probe, res.Formation, res.Snapshots, res.Logs, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,9 +1,10 @@
 // HPL pipeline: reproduce the paper's end-to-end workflow (Figure 4) on
-// High Performance Linpack with 32 processes (8×4 grid):
+// High Performance Linpack with 32 processes (8×4 grid), entirely through
+// the public gb facade:
 //
-//  1. run once with the communication tracer;
+//  1. run once with the communication tracer (mode None + CommObserver);
 //
-//  2. analyze the trace with Algorithm 2 → group definition (Table 1);
+//  2. analyze the matrix with Algorithm 2 → group definition (Table 1);
 //
 //  3. checkpoint under those groups and compare against LAM/MPI-style
 //     global coordination (NORM).
@@ -12,73 +13,63 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/gb"
 	"repro/internal/ckpt"
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/group"
-	"repro/internal/mpi"
-	"repro/internal/sim"
-	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// N=5760 keeps this example under a second; the cmd/gbexp tool runs
 	// the paper-scale N=20000 version.
-	wl := workload.NewHPL(5760, 32)
+	wl := gb.HPL(5760, 32)
 
 	// Step 1: trace with the streaming matrix — formation needs only the
-	// pair aggregates, so nothing per-message is buffered.
-	k := sim.NewKernel(1)
-	c := cluster.New(k, 32, cluster.Gideon())
-	w := mpi.NewWorld(k, c, 32)
-	m := trace.NewCommMatrix()
-	w.Tracer = m
-	w.Launch(wl.Body)
-	if err := k.Run(); err != nil {
+	// pair aggregates, so nothing per-message is buffered. Mode None runs
+	// the bare application with no checkpoint engine.
+	comm := gb.NewCommObserver()
+	if _, err := gb.Run(ctx, wl,
+		gb.WithMode(gb.None), gb.WithSeed(1),
+		gb.WithObserver(comm)); err != nil {
 		log.Fatal(err)
 	}
+	m := comm.Matrix()
 	fmt.Printf("traced %s: %d send records\n", wl.Name(), m.Sends())
 
 	// Step 2: Algorithm 2 with G=P=8.
-	f := group.FromMatrix(m, 32, wl.P)
+	f := gb.GroupsFromComm(m, 32, wl.P)
 	fmt.Println("group formation (paper Table 1):")
 	for i, g := range f.Groups {
 		fmt.Printf("  group %d: %v\n", i+1, g)
 	}
 
-	// Step 3: checkpoint under the groups vs globally.
+	// Step 3: checkpoint under the groups vs globally. The traced
+	// formation feeds straight back in through WithFormation.
 	for _, setup := range []struct {
 		name string
-		form group.Formation
+		opts []gb.Option
 	}{
-		{"GP (trace groups)", f},
-		{"NORM (global)", group.Global(32)},
+		{"GP (trace groups)", []gb.Option{gb.WithMode(gb.GP), gb.WithFormation(f)}},
+		{"NORM (global)", []gb.Option{gb.WithMode(gb.NORM)}},
 	} {
-		k := sim.NewKernel(7)
-		c := cluster.New(k, 32, cluster.Gideon())
-		w := mpi.NewWorld(k, c, 32)
-		e := core.NewEngine(w, core.DefaultConfig(setup.form, wl.ImageBytes))
-		e.ScheduleAt(4*sim.Second, nil)
-		w.Launch(wl.Body)
-		if err := k.Run(); err != nil {
+		opts := append([]gb.Option{
+			gb.WithSeed(7),
+			gb.WithSchedule(gb.Schedule{At: 4 * gb.Second}),
+		}, setup.opts...)
+		res, err := gb.Run(ctx, wl, opts...)
+		if err != nil {
 			log.Fatal(err)
 		}
-		var exec sim.Time
-		for _, r := range w.Ranks {
-			if r.FinishTime > exec {
-				exec = r.FinishTime
-			}
-		}
-		agg := ckpt.AggregateCheckpointTime(e.Records())
+		agg := ckpt.AggregateCheckpointTime(res.Records)
 		coord := agg
-		for _, r := range e.Records() {
+		for _, r := range res.Records {
 			coord -= r.Stages[ckpt.StageWrite]
 		}
 		fmt.Printf("%-20s exec %-14v agg ckpt %-14v coordination %v\n",
-			setup.name, exec, agg, coord)
+			setup.name, res.ExecTime, agg, coord)
 	}
 }

@@ -1,33 +1,34 @@
 // Quickstart: checkpoint a small message-passing application with the
-// group-based protocol and restart it from the checkpoint.
+// group-based protocol and restart it from the checkpoint, all through the
+// public gb facade.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/gb"
 	"repro/internal/ckpt"
-	"repro/internal/harness"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A small ring workload: 8 ranks, heavy neighbour traffic, light
 	// cross traffic — exactly the structure trace-driven grouping likes.
-	wl := workload.NewSynthetic(8, 200)
+	wl := gb.Synthetic(8, 200)
 
 	// Run it under GP: the harness traces the application once, forms
 	// groups with the paper's Algorithm 2, installs the group-based
 	// engine, and requests one checkpoint at t=5s.
-	res, err := harness.Run(harness.Spec{
-		WL:    wl,
-		Mode:  harness.GP,
-		Seed:  1,
-		Sched: harness.Schedule{At: 5 * sim.Second},
-	})
+	res, err := gb.Run(ctx, wl,
+		gb.WithMode(gb.GP),
+		gb.WithSeed(1),
+		gb.WithSchedule(gb.Schedule{At: 5 * gb.Second}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func main() {
 	// Restart the whole application from that checkpoint: images load,
 	// out-of-group peers exchange sent/received volumes, and logged
 	// messages are replayed or skipped.
-	out, err := harness.Restart(res, 2)
+	out, err := gb.Restart(res, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

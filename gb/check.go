@@ -1,0 +1,35 @@
+package gb
+
+import (
+	"context"
+
+	"repro/internal/simcheck"
+)
+
+type (
+	// CheckConfig parameterizes the invariant oracle.
+	CheckConfig = simcheck.CheckConfig
+
+	// CheckReport is the oracle's verdict on one scenario: the cells it
+	// executed and every invariant violation it found (none = all held).
+	CheckReport = simcheck.Report
+)
+
+// GenerateScenario derives one valid randomized scenario from seed, for
+// the self-verification sweep: identical seeds produce identical specs,
+// composed far beyond the hand-written profiles (cluster × workload ×
+// scales up to maxRanks × failure process × checkpoint policy). maxRanks
+// ≤ 0 selects the quick-sweep default (64).
+func GenerateScenario(seed int64, maxRanks int) *Scenario {
+	return simcheck.Generate(seed, simcheck.GenConfig{MaxRanks: maxRanks})
+}
+
+// CheckScenario runs the scenario with full introspection and
+// machine-checks the simulator's conservation and consistency invariants
+// on every cell — conservation, pool integrity, cut consistency, log
+// coverage, tracer agreement, failure accounting, liveness, determinism.
+// See internal/simcheck for the invariant definitions. A canceled ctx
+// surfaces as a violation in the report.
+func CheckScenario(ctx context.Context, sc *Scenario, cfg CheckConfig) *CheckReport {
+	return simcheck.Check(ctx, sc, cfg)
+}

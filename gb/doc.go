@@ -1,0 +1,46 @@
+// Package gb is the public, context-aware facade over the group-based
+// checkpointing simulator: the single supported way to drive it.
+//
+// One entry point runs one experiment:
+//
+//	res, err := gb.Run(ctx, gb.SyntheticWorkload(8, 200),
+//		gb.WithMode(gb.GP),
+//		gb.WithSchedule(gb.Schedule{At: 5 * gb.Second}),
+//		gb.WithSeed(1),
+//		gb.WithObserver(gb.NewCommObserver()),
+//	)
+//
+// and one entry point streams a scenario sweep, yielding each cell as it
+// finishes instead of only a final table:
+//
+//	for cell, err := range gb.Sweep(ctx, spec, gb.WithWorkers(8)) { … }
+//
+// # Composition
+//
+// Configuration is by functional options (WithMode, WithCluster,
+// WithSchedule, WithSeed, WithGroupMax, WithRemoteStorage, WithFailures,
+// WithHorizon, …); instrumentation is by stacked observers (WithObserver):
+// NewTraceObserver, NewCommObserver, and NewInspectObserver cover the
+// classic needs, and any value implementing Observer composes with them —
+// see examples/cgfailure for a user-defined one.
+//
+// # Cancellation and errors
+//
+// Every run honors its context: cancellation parks the simulation kernel
+// between events, unwinds every simulation goroutine, and returns an error
+// wrapping ErrCanceled. The other failure classes carry sentinels too —
+// ErrBadSpec for options rejected before the simulation starts and
+// ErrHorizon for runs that outlive their virtual-time bound — so callers
+// dispatch with errors.Is instead of string matching.
+//
+// # Compatibility contract
+//
+// This package is the repository's stable surface: the entry points,
+// option constructors, observer types, and sentinel errors documented here
+// do not change incompatibly. Everything under internal/ is implementation
+// and free to churn; some gb types are aliases of internal types
+// (Result, Schedule, the workload constructors' return types), and for
+// those the alias, its exported fields, and its exported methods are part
+// of the contract even as the implementation moves. Code outside this
+// repository's cmd/ and examples/ trees must import gb, never internal/.
+package gb

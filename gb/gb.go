@@ -1,0 +1,232 @@
+package gb
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/group"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Core vocabulary, re-exported so callers never touch internal/ packages.
+// Aliased types are part of the public contract (see the package comment).
+type (
+	// Workload is a runnable application skeleton: a process count, a body
+	// per rank, and per-rank checkpoint image sizes. Construct one with
+	// Synthetic, HPL, CG, or SP and tune its exported fields before Run.
+	Workload = workload.Workload
+
+	// Mode selects the checkpoint protocol configuration (GP, GP1, GP4,
+	// NORM, VCL, None), in the paper's notation.
+	Mode = harness.Mode
+
+	// Schedule describes when checkpoints are requested.
+	Schedule = harness.Schedule
+
+	// Cluster is a hardware calibration: flop rate, NIC, latency, disks,
+	// jitter. Start from Gideon() or Modern() and override fields.
+	Cluster = cluster.Config
+
+	// Result collects everything a run produced.
+	Result = harness.Result
+
+	// Observer hooks one run; see the Observer docs in this package.
+	Observer = harness.Observer
+
+	// RunEnv is handed to Observer.BeforeRun: the built world plus engine
+	// hook registration points.
+	RunEnv = harness.RunEnv
+
+	// Tracer observes transport events; BeforeRun may return one.
+	Tracer = mpi.Tracer
+
+	// CommMatrix is the streaming pairwise communication aggregation.
+	CommMatrix = trace.CommMatrix
+
+	// TraceRecord is one traced transport event (Result.Trace).
+	TraceRecord = trace.Record
+
+	// Formation is a disjoint cover of the ranks by checkpoint groups.
+	Formation = group.Formation
+
+	// FailureProcess generates failure inter-arrival gaps (renewal
+	// process). PoissonFailures and WeibullFailures build the stock ones.
+	FailureProcess = failure.Process
+
+	// RestartOutcome reports a simulated whole-application restart.
+	RestartOutcome = core.RestartOutcome
+
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+)
+
+// The protocol configurations, re-exported from the implementation layer.
+const (
+	GP   = harness.GP   // trace-assisted group formation
+	GP1  = harness.GP1  // one process per group (uncoordinated + logging)
+	GP4  = harness.GP4  // four ad-hoc groups of sequential ranks
+	NORM = harness.NORM // one global group (LAM/MPI coordinated)
+	VCL  = harness.VCL  // MPICH-VCL (Chandy–Lamport, remote servers)
+	None = harness.None // no protocol engine: the bare application
+)
+
+// Common virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Seconds converts seconds to virtual Time.
+func Seconds(s float64) Time { return sim.Seconds(s) }
+
+// Sentinel errors. Every error returned by Run, Sweep, or SweepTable wraps
+// exactly one of these or is a deadlock report; dispatch with errors.Is.
+var (
+	// ErrBadSpec marks a workload/option combination rejected before any
+	// simulation work started.
+	ErrBadSpec = harness.ErrBadSpec
+	// ErrHorizon marks a run whose application had not finished when the
+	// WithHorizon virtual-time bound was reached.
+	ErrHorizon = harness.ErrHorizon
+	// ErrCanceled marks a run stopped because its context was canceled.
+	// No simulation goroutine survives the cancellation.
+	ErrCanceled = harness.ErrCanceled
+)
+
+// Run executes one simulation to completion: the workload under the
+// configuration the options compose (protocol mode, cluster calibration,
+// checkpoint schedule, failure process, observers, …). The zero
+// configuration runs the workload under GP — trace-assisted group
+// formation — with seed 1 on the paper's Gideon cluster, no checkpoints
+// scheduled.
+//
+// Canceling ctx stops the simulation between events, unwinds every
+// simulation goroutine, and returns an error wrapping ErrCanceled.
+// Identical inputs produce identical Results, bit for bit: the only
+// sources of variation are the explicit seeds.
+func Run(ctx context.Context, wl Workload, opts ...Option) (*Result, error) {
+	cfg := newConfig(scopeRun)
+	if err := cfg.apply(opts); err != nil {
+		return nil, err
+	}
+	cfg.spec.WL = wl
+	return harness.Run(ctx, cfg.spec)
+}
+
+// Restart simulates a whole-application restart from the run's latest
+// checkpoint: images load, out-of-group peers exchange sent/received
+// volumes, and logged messages are replayed or skipped.
+func Restart(res *Result, seed int64) (RestartOutcome, error) {
+	return harness.Restart(res, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Workload constructors.
+
+// Synthetic builds the tunable ring+cross-traffic skeleton: n ranks,
+// iters supersteps. Tune the returned struct's fields (ring/cross bytes,
+// flops, image size) before Run.
+func Synthetic(n, iters int) *workload.Synthetic { return workload.NewSynthetic(n, iters) }
+
+// HPL builds the High Performance Linpack skeleton: problem size n on
+// procs ranks (procs must be a multiple of 8; the grid pins P=8).
+func HPL(n, procs int) *workload.HPL { return workload.NewHPL(n, procs) }
+
+// CG builds the NPB Conjugate Gradient class C skeleton on procs ranks
+// (power of two).
+func CG(procs int) *workload.CG { return workload.CGClassC(procs) }
+
+// SP builds the NPB Scalar Penta-diagonal class C skeleton on procs ranks
+// (a square).
+func SP(procs int) *workload.SP { return workload.SPClassC(procs) }
+
+// ---------------------------------------------------------------------------
+// Cluster calibrations.
+
+// Gideon returns the paper's 2002 testbed calibration (the default).
+func Gideon() Cluster { return cluster.Gideon() }
+
+// Modern returns the 10GbE/NVMe present-day calibration.
+func Modern() Cluster { return cluster.Modern() }
+
+// ClusterNamed resolves a calibration by profile name ("gideon", "modern").
+func ClusterNamed(name string) (Cluster, bool) { return cluster.Named(name) }
+
+// ---------------------------------------------------------------------------
+// Formations.
+
+// ReadFormation parses a group definition file for n ranks — the artifact
+// the paper's workflow stores between runs. Feed it to WithFormation.
+func ReadFormation(r io.Reader, n int) (Formation, error) { return group.ReadFrom(r, n) }
+
+// GroupsFromComm applies the paper's Algorithm 2 to a streamed
+// communication matrix (from a CommObserver run): greedy merge of the
+// heaviest-communicating pairs under maxSize (0 = ⌈√n⌉).
+func GroupsFromComm(m *CommMatrix, n, maxSize int) Formation {
+	if maxSize <= 0 {
+		maxSize = group.DefaultMaxSize(n)
+	}
+	return group.FromMatrix(m, n, maxSize)
+}
+
+// GlobalFormation returns the single all-ranks group (what NORM uses).
+func GlobalFormation(n int) Formation { return group.Global(n) }
+
+// ---------------------------------------------------------------------------
+// Failure models.
+
+// Failures arms a stochastic failure process on a run: failures arrive as
+// a renewal process, strike uniformly drawn nodes, and each is evaluated
+// at its instant under group vs. global restart (Result.Failures).
+// Injection is observational — it never perturbs the simulation — and
+// requires a group-based mode.
+type Failures struct {
+	// Process generates the inter-arrival gaps.
+	Process FailureProcess
+	// Seed seeds the process independently of the run (0 derives one
+	// from the run seed).
+	Seed int64
+	// Max caps injected failures (0 = the implementation default).
+	Max int
+}
+
+// PoissonFailures builds a memoryless failure process with the given mean
+// time between failures, in seconds of virtual time.
+func PoissonFailures(mtbfSeconds float64) Failures {
+	return Failures{Process: failure.Poisson{MTBF: sim.Seconds(mtbfSeconds)}}
+}
+
+// WeibullFailures builds a Weibull renewal failure process; shape < 1
+// gives the infant-mortality lifetimes HPC failure studies report.
+func WeibullFailures(shape, mtbfSeconds float64) Failures {
+	return Failures{Process: failure.Weibull{Shape: shape, MTBF: sim.Seconds(mtbfSeconds)}}
+}
+
+// ---------------------------------------------------------------------------
+// Observers.
+
+// NewTraceObserver attaches the full record tracer to a run and publishes
+// the records as Result.Trace. Memory scales with message count.
+func NewTraceObserver() *harness.TraceObserver { return harness.NewTraceObserver() }
+
+// NewCommObserver attaches the streaming CommMatrix tracer to a run and
+// publishes it as Result.Comm. Memory is bounded by communicating pairs.
+func NewCommObserver() *harness.CommObserver { return harness.NewCommObserver() }
+
+// NewInspectObserver attaches the invariant-oracle introspection
+// (Result.MsgStats, Result.Flows, Result.Queued*, Result.Cuts).
+func NewInspectObserver() *harness.InspectObserver { return harness.NewInspectObserver() }
+
+// errBadSpec builds an option/spec rejection.
+func errBadSpec(format string, args ...any) error {
+	return fmt.Errorf("gb: %w: %s", ErrBadSpec, fmt.Sprintf(format, args...))
+}

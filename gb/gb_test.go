@@ -1,0 +1,256 @@
+package gb_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/gb"
+)
+
+// TestOptionValidation: every malformed option combination must be
+// rejected with ErrBadSpec before any simulation work starts, with a
+// message naming the offender.
+func TestOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	wl := gb.Synthetic(4, 5)
+	cases := []struct {
+		name string
+		run  func() error
+		want string // substring of the error message
+	}{
+		{"nil workload", func() error {
+			_, err := gb.Run(ctx, nil)
+			return err
+		}, "no workload"},
+		{"unknown mode", func() error {
+			_, err := gb.Run(ctx, wl, gb.WithMode("BOGUS"))
+			return err
+		}, "unknown mode"},
+		{"negative group max", func() error {
+			_, err := gb.Run(ctx, wl, gb.WithGroupMax(-1))
+			return err
+		}, "GroupMax"},
+		{"negative horizon", func() error {
+			_, err := gb.Run(ctx, wl, gb.WithHorizon(-gb.Second))
+			return err
+		}, "negative horizon"},
+		{"negative servers", func() error {
+			_, err := gb.Run(ctx, wl, gb.WithRemoteStorage(gb.RemoteStorage{Servers: -2}))
+			return err
+		}, "RemoteServers"},
+		{"failures under VCL", func() error {
+			_, err := gb.Run(ctx, wl, gb.WithMode(gb.VCL), gb.WithFailures(gb.PoissonFailures(1)))
+			return err
+		}, "group-based"},
+		{"failures under None", func() error {
+			_, err := gb.Run(ctx, wl, gb.WithMode(gb.None), gb.WithFailures(gb.PoissonFailures(1)))
+			return err
+		}, "group-based"},
+		{"schedule under None", func() error {
+			_, err := gb.Run(ctx, wl, gb.WithMode(gb.None),
+				gb.WithSchedule(gb.Schedule{At: gb.Second}))
+			return err
+		}, "no checkpoint engine"},
+		{"formation outside GP", func() error {
+			_, err := gb.Run(ctx, wl, gb.WithMode(gb.NORM),
+				gb.WithFormation(gb.GlobalFormation(4)))
+			return err
+		}, "formation override"},
+		{"workers on a run", func() error {
+			_, err := gb.Run(ctx, wl, gb.WithWorkers(4))
+			return err
+		}, "WithWorkers"},
+		{"mode on a sweep", func() error {
+			sc, _ := gb.BuiltinScenario("gideon")
+			_, err := gb.SweepTable(ctx, sc, gb.WithMode(gb.GP))
+			return err
+		}, "WithMode"},
+		{"observer on a sweep", func() error {
+			sc, _ := gb.BuiltinScenario("gideon")
+			_, err := gb.SweepTable(ctx, sc, gb.WithObserver(gb.NewCommObserver()))
+			return err
+		}, "WithObserver"},
+		{"nil scenario", func() error {
+			_, err := gb.SweepTable(ctx, nil)
+			return err
+		}, "nil scenario"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if !errors.Is(err, gb.ErrBadSpec) {
+				t.Fatalf("got %v, want ErrBadSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the offender (%q)", err, tc.want)
+			}
+		})
+	}
+}
+
+// settleGoroutines polls until the goroutine count drops to at most want
+// or a deadline passes; simulation goroutines unwind asynchronously.
+func settleGoroutines(want int) int {
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= want || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRunCancellation cancels mid-run: the error must wrap ErrCanceled and
+// every simulation goroutine must be unwound.
+func TestRunCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			cancel()
+		}()
+		// A long run: plenty of events for the cancel to land inside.
+		_, err := gb.Run(ctx, gb.Synthetic(64, 5000), gb.WithMode(gb.GP1),
+			gb.WithSchedule(gb.Schedule{Interval: gb.Second}))
+		cancel()
+		if err == nil {
+			t.Skip("run finished before the cancel landed; nothing to assert")
+		}
+		if !errors.Is(err, gb.ErrCanceled) {
+			t.Fatalf("got %v, want ErrCanceled", err)
+		}
+	}
+	if after := settleGoroutines(before); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestRunCanceledBeforeStart: an already-canceled context never starts the
+// simulation.
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := gb.Run(ctx, gb.Synthetic(4, 10))
+	if !errors.Is(err, gb.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+// TestHorizonSentinel: a horizon shorter than the run must surface
+// ErrHorizon.
+func TestHorizonSentinel(t *testing.T) {
+	_, err := gb.Run(context.Background(), gb.Synthetic(4, 200),
+		gb.WithMode(gb.GP1), gb.WithHorizon(gb.Millisecond))
+	if !errors.Is(err, gb.ErrHorizon) {
+		t.Fatalf("got %v, want ErrHorizon", err)
+	}
+}
+
+// TestRunDeterminism: identical inputs, identical results.
+func TestRunDeterminism(t *testing.T) {
+	run := func() *gb.Result {
+		res, err := gb.Run(context.Background(), gb.Synthetic(8, 50),
+			gb.WithMode(gb.GP), gb.WithSeed(7),
+			gb.WithSchedule(gb.Schedule{At: gb.Second}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ExecTime != b.ExecTime || a.Events != b.Events || a.Epochs != b.Epochs {
+		t.Fatalf("identical inputs diverged: %v/%d/%d vs %v/%d/%d",
+			a.ExecTime, a.Events, a.Epochs, b.ExecTime, b.Events, b.Epochs)
+	}
+}
+
+// TestObserversStack: trace, comm, and inspect observers ride one run
+// together and agree with each other.
+func TestObserversStack(t *testing.T) {
+	comm := gb.NewCommObserver()
+	res, err := gb.Run(context.Background(), gb.Synthetic(8, 30),
+		gb.WithMode(gb.GP1),
+		gb.WithSchedule(gb.Schedule{At: gb.Second}),
+		gb.WithObserver(gb.NewTraceObserver(), comm, gb.NewInspectObserver()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 || res.Comm == nil || res.MsgStats.Sends == 0 {
+		t.Fatalf("observer outputs missing: trace=%d comm=%v sends=%d",
+			len(res.Trace), res.Comm, res.MsgStats.Sends)
+	}
+	if comm.Matrix() != res.Comm {
+		t.Error("observer accessor and Result.Comm disagree")
+	}
+	var sends int
+	for _, r := range res.Trace {
+		if !r.Deliver && r.Src != r.Dst {
+			sends++
+		}
+	}
+	if res.Comm.Sends() != sends {
+		t.Errorf("comm matrix saw %d sends, trace %d", res.Comm.Sends(), sends)
+	}
+}
+
+// TestFormationOverride: a formation fed through WithFormation must be
+// used verbatim, bypassing the tracing pass.
+func TestFormationOverride(t *testing.T) {
+	f := gb.GlobalFormation(8)
+	res, err := gb.Run(context.Background(), gb.Synthetic(8, 20),
+		gb.WithMode(gb.GP), gb.WithFormation(f),
+		gb.WithSchedule(gb.Schedule{At: gb.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Formation.Groups) != 1 || len(res.Formation.Groups[0]) != 8 {
+		t.Fatalf("formation override ignored: got %v", res.Formation.Groups)
+	}
+}
+
+// TestModeNone: the bare application runs with no engine and no records.
+func TestModeNone(t *testing.T) {
+	res, err := gb.Run(context.Background(), gb.Synthetic(4, 20), gb.WithMode(gb.None))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "none" || len(res.Records) != 0 || res.Epochs != 0 {
+		t.Fatalf("None mode ran an engine: name=%q records=%d epochs=%d",
+			res.Name, len(res.Records), res.Epochs)
+	}
+	if res.ExecTime <= 0 {
+		t.Error("no execution time")
+	}
+}
+
+// TestRestartThroughFacade: the quickstart path end to end — and, since
+// gb.Run and gb.Restart each build a whole simulated world, repeated calls
+// must not accumulate goroutines (the long-lived-caller contract).
+func TestRestartThroughFacade(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		res, err := gb.Run(context.Background(), gb.Synthetic(8, 60),
+			gb.WithMode(gb.GP1), gb.WithSeed(3),
+			gb.WithSchedule(gb.Schedule{At: gb.Second}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := gb.Restart(res, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.AggregateRestartTime() <= 0 {
+			t.Error("no restart time")
+		}
+	}
+	if after := settleGoroutines(before); after > before {
+		t.Fatalf("goroutines leaked across runs: %d before, %d after", before, after)
+	}
+}

@@ -1,0 +1,176 @@
+package gb
+
+import "repro/internal/harness"
+
+// scope says which entry point an option list is being applied to: some
+// options configure a single run, some configure a sweep, some both. An
+// option used outside its scope is rejected with ErrBadSpec rather than
+// silently ignored.
+type scope int
+
+const (
+	scopeRun scope = iota
+	scopeSweep
+)
+
+func (s scope) String() string {
+	if s == scopeSweep {
+		return "Sweep"
+	}
+	return "Run"
+}
+
+// config is the assembly area the options write into.
+type config struct {
+	scope scope
+	spec  harness.Spec // Run: the spec under construction
+
+	// Sweep knobs.
+	workers  int
+	seed     int64 // overrides the scenario seed when set
+	seedSet  bool
+	horizonS float64
+}
+
+func newConfig(s scope) *config {
+	c := &config{scope: s}
+	// A bare gb.Run means: the paper's headline protocol, deterministic
+	// seed 1, default (Gideon) cluster, no checkpoints.
+	c.spec.Mode = GP
+	c.spec.Seed = 1
+	return c
+}
+
+func (c *config) apply(opts []Option) error {
+	for _, o := range opts {
+		if err := o(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Option configures Run or Sweep. Options compose left to right; a later
+// option overrides an earlier one for the same knob.
+type Option func(*config) error
+
+// runOnly wraps an option that configures a single run; the scenario spec
+// owns that knob in a sweep.
+func runOnly(name string, f func(*config)) Option {
+	return func(c *config) error {
+		if c.scope != scopeRun {
+			return errBadSpec("%s applies to Run, not Sweep (the scenario spec owns it)", name)
+		}
+		f(c)
+		return nil
+	}
+}
+
+// WithMode selects the checkpoint protocol configuration (default GP).
+func WithMode(m Mode) Option {
+	return runOnly("WithMode", func(c *config) { c.spec.Mode = m })
+}
+
+// WithCluster selects the hardware calibration (default Gideon()).
+func WithCluster(cl Cluster) Option {
+	return runOnly("WithCluster", func(c *config) { c.spec.Cluster = cl })
+}
+
+// WithSchedule sets when checkpoints are requested (default: none).
+func WithSchedule(s Schedule) Option {
+	return runOnly("WithSchedule", func(c *config) { c.spec.Sched = s })
+}
+
+// WithSeed sets the simulation seed (default 1; identical seeds produce
+// identical runs). On a sweep it overrides the scenario spec's seed, from
+// which every cell seed derives.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.spec.Seed = seed
+		c.seed, c.seedSet = seed, true
+		return nil
+	}
+}
+
+// WithGroupMax bounds GP's trace-derived group size (default ⌈√n⌉).
+func WithGroupMax(max int) Option {
+	return runOnly("WithGroupMax", func(c *config) { c.spec.GroupMax = max })
+}
+
+// WithFormation overrides GP's trace-derived formation with a prebuilt one
+// — e.g. read from a group definition file with ReadFormation, or built by
+// GroupsFromComm. Requires mode GP.
+func WithFormation(f Formation) Option {
+	return runOnly("WithFormation", func(c *config) { c.spec.Formation = &f })
+}
+
+// RemoteStorage describes shared remote checkpoint servers (the paper's
+// Section 5.3 setup) instead of node-local disk.
+type RemoteStorage struct {
+	// Servers is the server count; 0 means local disk (the default).
+	Servers int
+	// NICBytesPerSec is each server's NIC rate (0 = Fast Ethernet,
+	// 12.5 MB/s, the paper's).
+	NICBytesPerSec float64
+	// DiskBytesPerSec is each server's disk write rate (0 = 40 MB/s).
+	DiskBytesPerSec float64
+	// Async selects NFS-style write-behind semantics (the LAM/MPI
+	// configuration); VCL always streams synchronously.
+	Async bool
+}
+
+// WithRemoteStorage stores checkpoint images on shared remote servers.
+func WithRemoteStorage(r RemoteStorage) Option {
+	return runOnly("WithRemoteStorage", func(c *config) {
+		c.spec.RemoteServers = r.Servers
+		c.spec.ServerNIC = r.NICBytesPerSec
+		c.spec.ServerDisk = r.DiskBytesPerSec
+		c.spec.RemoteAsync = r.Async
+	})
+}
+
+// WithFailures arms a stochastic failure process on the run (group-based
+// modes only); outcomes land in Result.Failures.
+func WithFailures(f Failures) Option {
+	return runOnly("WithFailures", func(c *config) {
+		c.spec.FailureProc = f.Process
+		c.spec.FailureSeed = f.Seed
+		c.spec.MaxFailures = f.Max
+	})
+}
+
+// WithHorizon caps virtual time: a run (or sweep cell) whose application
+// has not finished by d fails with an error wrapping ErrHorizon — the
+// liveness backstop that turns a livelock into a diagnosis.
+func WithHorizon(d Time) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return errBadSpec("WithHorizon(%v): negative horizon", d)
+		}
+		c.spec.Horizon = d
+		c.horizonS = d.Seconds()
+		return nil
+	}
+}
+
+// WithObserver stacks observers onto the run: each may install a tracer
+// and publish into the Result. Observers are stateful single-run objects —
+// build fresh ones per Run call.
+func WithObserver(obs ...Observer) Option {
+	return runOnly("WithObserver", func(c *config) {
+		c.spec.Observers = append(c.spec.Observers, obs...)
+	})
+}
+
+// WithWorkers bounds how many sweep cells execute concurrently (default:
+// all cores; 1 = serial). Cell seeding makes the rendered table identical
+// at any worker count — only wall-clock time and streaming order change.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if c.scope != scopeSweep {
+			return errBadSpec("WithWorkers applies to Sweep, not Run (a single run is one simulation)")
+		}
+		c.workers = n
+		return nil
+	}
+}

@@ -1,0 +1,221 @@
+package gb_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/gb"
+)
+
+// fastScenario is a sweep small enough for unit tests but with several
+// cells, so streaming order and cancellation have something to bite on.
+func fastScenario(t *testing.T) *gb.Scenario {
+	t.Helper()
+	sc, err := gb.ParseScenario(strings.NewReader(`{
+		"name": "fast",
+		"cluster": {"profile": "gideon"},
+		"workload": {"kind": "synthetic", "iters": 6, "mflopsPerIter": 20},
+		"scales": [4, 8],
+		"modes": ["GP", "GP1"],
+		"checkpoint": {"atS": 0.5},
+		"reps": 2,
+		"seed": 3
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestSweepStreamsEveryCell: the iterator must yield exactly the matrix,
+// each cell carrying a full Result.
+func TestSweepStreamsEveryCell(t *testing.T) {
+	sc := fastScenario(t)
+	want := len(sc.Cells())
+	seen := map[string]bool{}
+	for cell, err := range gb.Sweep(context.Background(), sc, gb.WithWorkers(3)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cell.Result == nil || cell.Result.ExecTime <= 0 {
+			t.Fatalf("cell %+v has no result", cell.Cell)
+		}
+		key := cell.Mode + string(rune(cell.Scale)) + string(rune(cell.Rep))
+		if seen[key] {
+			t.Fatalf("cell %+v yielded twice", cell.Cell)
+		}
+		seen[key] = true
+	}
+	if len(seen) != want {
+		t.Fatalf("streamed %d cells, want %d", len(seen), want)
+	}
+}
+
+// TestSweepMatchesTable: folding streamed cells must agree with the
+// aggregate SweepTable row count, and SweepTable must be byte-identical
+// at different worker counts.
+func TestSweepMatchesTable(t *testing.T) {
+	sc := fastScenario(t)
+	serial, err := gb.SweepTable(context.Background(), sc, gb.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := gb.SweepTable(context.Background(), sc, gb.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatal("worker count changed the rendered table")
+	}
+	if got, want := len(serial.Rows), len(sc.Scales)*len(sc.Modes); got != want {
+		t.Fatalf("table has %d rows, want %d", got, want)
+	}
+}
+
+// TestSweepSeedOverride: WithSeed must change cell seeds without touching
+// the caller's spec.
+func TestSweepSeedOverride(t *testing.T) {
+	sc := fastScenario(t)
+	was := sc.Seed
+	var defaultSeed, overridden int64
+	for cell, err := range gb.Sweep(context.Background(), sc, gb.WithWorkers(1)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		defaultSeed = cell.Seed
+		break
+	}
+	for cell, err := range gb.Sweep(context.Background(), sc, gb.WithWorkers(1), gb.WithSeed(99)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		overridden = cell.Seed
+		break
+	}
+	if sc.Seed != was {
+		t.Fatalf("Sweep mutated the caller's spec seed: %d → %d", was, sc.Seed)
+	}
+	if defaultSeed == overridden {
+		t.Fatalf("seed override had no effect (both %d)", defaultSeed)
+	}
+}
+
+// TestSweepCancellation cancels mid-sweep: the iterator must surface
+// ErrCanceled and leak nothing.
+func TestSweepCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := fastScenario(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var got error
+	n := 0
+	for cell, err := range gb.Sweep(ctx, sc, gb.WithWorkers(2)) {
+		if err != nil {
+			got = err
+			break
+		}
+		_ = cell
+		n++
+		cancel()
+	}
+	cancel()
+	if got == nil {
+		t.Fatalf("sweep of %d cells finished cleanly despite cancel after cell 1 (%d yielded)",
+			len(sc.Cells()), n)
+	}
+	if !errors.Is(got, gb.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", got)
+	}
+	if after := settleGoroutines(before); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestSweepEarlyBreak: breaking out of the iterator must cancel the
+// remaining cells and leak nothing.
+func TestSweepEarlyBreak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := fastScenario(t)
+	for cell, err := range gb.Sweep(context.Background(), sc, gb.WithWorkers(2)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = cell
+		break
+	}
+	if after := settleGoroutines(before); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestSweepTableCancellationSentinel: a cancel observed at the worker-pool
+// level (here: before any cell starts) must still wrap ErrCanceled — the
+// facade's contract is one sentinel wherever the cancel lands.
+func TestSweepTableCancellationSentinel(t *testing.T) {
+	sc := fastScenario(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := gb.SweepTable(ctx, sc, gb.WithWorkers(2))
+	if !errors.Is(err, gb.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+// TestSweepCellErrorStopsIteration: a failing cell is yielded once with
+// its coordinates, then iteration ends.
+func TestSweepCellErrorStopsIteration(t *testing.T) {
+	sc := fastScenario(t)
+	yields := 0
+	var cellErr error
+	for cell, err := range gb.Sweep(context.Background(), sc,
+		gb.WithWorkers(2), gb.WithHorizon(gb.Millisecond)) {
+		yields++
+		if err == nil {
+			t.Fatalf("cell %+v succeeded under a 1ms horizon", cell.Cell)
+		}
+		cellErr = err
+	}
+	if yields != 1 {
+		t.Fatalf("iterator yielded %d times after the first error, want 1", yields)
+	}
+	if !errors.Is(cellErr, gb.ErrHorizon) {
+		t.Fatalf("got %v, want ErrHorizon", cellErr)
+	}
+}
+
+// TestCheckFacade: the randomized invariant oracle is reachable through
+// the facade and holds on a generated scenario.
+func TestCheckFacade(t *testing.T) {
+	sc := gb.GenerateScenario(1, 32)
+	rep := gb.CheckScenario(context.Background(), sc, gb.CheckConfig{Workers: 2, SkipDeterminism: true})
+	if !rep.Ok() {
+		t.Fatalf("invariants violated: %v", rep.Violations)
+	}
+	if rep.Cells == 0 {
+		t.Fatal("oracle ran no cells")
+	}
+}
+
+// TestExperimentRegistryFacade: the registry is reachable and runs with a
+// context.
+func TestExperimentRegistryFacade(t *testing.T) {
+	if len(gb.ExperimentIDs()) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	e, ok := gb.LookupExperiment("fig5")
+	if !ok {
+		t.Fatal("fig5 not registered")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	tables, err := e.Run(ctx, gb.ExperimentOptions{Quick: true, Reps: 1, Scales: []int{16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		t.Fatal("fig5 produced no rows")
+	}
+}

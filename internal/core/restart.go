@@ -98,6 +98,7 @@ func SimulateRestart(spec RestartSpec) (RestartOutcome, error) {
 		spec.PeerCost = 25 * sim.Millisecond
 	}
 	k := sim.NewKernel(spec.Seed)
+	defer k.Shutdown()
 	c := cluster.New(k, spec.N, spec.ClusterCfg)
 	w := mpi.NewWorld(k, c, spec.N)
 	var store cluster.Storage = cluster.LocalDisk{}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/ckpt"
@@ -69,6 +71,16 @@ func (o Options) hplConfig() (n int, ckptAt sim.Time) {
 
 func seconds(t sim.Time) float64 { return t.Seconds() }
 
+// mapRuns is runner.MapCtx with the harness error contract: a cancellation
+// observed by the pool between cells (raw context.Canceled/DeadlineExceeded)
+// is normalized to wrap ErrCanceled, the same sentinel a cancel landing
+// inside a cell produces — callers and the suite caches dispatch on one
+// sentinel either way.
+func mapRuns[K, T any](ctx context.Context, workers int, keys []K, fn func(K) (T, error)) ([]T, error) {
+	res, err := runner.MapCtx(ctx, workers, keys, fn)
+	return res, NormalizeCancel(err)
+}
+
 // ---------------------------------------------------------------------------
 // Run matrices.
 //
@@ -119,12 +131,12 @@ func groupByScale[T any](keys []runKey, vals []T) map[int]map[Mode][]T {
 // Figure 1 rises from near zero to hundreds of aggregate seconds with
 // irregular spikes. The paper sweeps 12–68 processes; our HPL skeleton pins
 // P=8, so the sweep runs over multiples of 8.
-func Fig1(o Options) (*stats.Table, error) {
+func Fig1(ctx context.Context, o Options) (*stats.Table, error) {
 	nProb, ckptAt := o.hplConfig()
 	scales := o.scales([]int{16, 24, 32, 40, 48, 56, 64}, []int{16, 24})
 	keys := matrix(scales, []Mode{NORM}, o.reps())
-	coord, err := runner.Map(o.workers(), keys, func(k runKey) (float64, error) {
-		res, err := Run(Spec{
+	coord, err := mapRuns(ctx, o.workers(), keys, func(k runKey) (float64, error) {
+		res, err := Run(ctx, Spec{
 			WL: workload.NewHPL(nProb, k.Scale), Mode: k.Mode,
 			Seed:  int64(1000*k.Scale + k.Rep),
 			Sched: Schedule{At: ckptAt},
@@ -174,9 +186,9 @@ type fig2Point struct {
 // in which no application message was delivered ("gaps"). The paper's
 // Figure 2 shows progress inside checkpoints at 32 processes but gaps
 // spanning nearly the whole checkpoint at 128.
-func Fig2(o Options) (*Fig2Result, error) {
+func Fig2(ctx context.Context, o Options) (*Fig2Result, error) {
 	scales := o.scales([]int{32, 128}, []int{16, 64})
-	points, err := runner.Map(o.workers(), scales, func(n int) (fig2Point, error) {
+	points, err := mapRuns(ctx, o.workers(), scales, func(n int) (fig2Point, error) {
 		wl := workload.CGClassC(n)
 		// Fine message granularity for the trace diagram; batching two
 		// inner iterations per superstep keeps the event count tractable
@@ -193,11 +205,11 @@ func Fig2(o Options) (*Fig2Result, error) {
 		// ranks VCL epochs overrun the 30 s interval (the pathology the
 		// figure demonstrates), so an uncapped schedule would checkpoint
 		// continuously until the application ends.
-		res, err := Run(Spec{
+		res, err := Run(ctx, Spec{
 			WL: wl, Mode: VCL, Seed: int64(n),
 			Sched:         Schedule{Interval: interval, MaxCount: 6},
 			RemoteServers: 4,
-			Trace:         true,
+			Observers:     []Observer{NewTraceObserver()},
 		})
 		if err != nil {
 			return fig2Point{}, err
@@ -263,10 +275,10 @@ func Fig2(o Options) (*Fig2Result, error) {
 // Table1 traces HPL on 32 processes (8×4 grid) and runs Algorithm 2 with
 // G=P=8. The paper's Table 1 result: 4 groups whose ranks are congruent
 // mod 4 ({0,4,…,28}, {1,5,…,29}, …).
-func Table1(o Options) (*stats.Table, error) {
+func Table1(ctx context.Context, o Options) (*stats.Table, error) {
 	nProb, _ := o.hplConfig()
 	wl := workload.NewHPL(nProb, 32)
-	f, err := tracedFormation(Spec{WL: wl, Mode: GP, GroupMax: wl.P})
+	f, err := tracedFormation(ctx, Spec{WL: wl, Mode: GP, GroupMax: wl.P})
 	if err != nil {
 		return nil, err
 	}
@@ -305,17 +317,17 @@ type hplSuiteResult struct {
 
 var hplSuiteCache runner.Memo[*hplSuiteResult]
 
-func hplSuite(o Options) (*hplSuiteResult, error) {
-	return hplSuiteCache.Get(o.key(), func() (*hplSuiteResult, error) {
+func hplSuite(ctx context.Context, o Options) (*hplSuiteResult, error) {
+	s, err := hplSuiteCache.Get(o.key(), func() (*hplSuiteResult, error) {
 		nProb, ckptAt := o.hplConfig()
 		suite := &hplSuiteResult{
 			scales: o.scales([]int{16, 32, 48, 64, 80, 96, 112, 128}, []int{16, 32}),
 			modes:  []Mode{GP, GP1, GP4, NORM},
 		}
 		keys := matrix(suite.scales, suite.modes, o.reps())
-		runs, err := runner.Map(o.workers(), keys, func(k runKey) (hplRun, error) {
+		runs, err := mapRuns(ctx, o.workers(), keys, func(k runKey) (hplRun, error) {
 			wl := workload.NewHPL(nProb, k.Scale)
-			res, err := Run(Spec{
+			res, err := Run(ctx, Spec{
 				WL: wl, Mode: k.Mode,
 				Seed:     int64(100000 + 100*k.Scale + k.Rep),
 				Sched:    Schedule{At: ckptAt},
@@ -343,6 +355,11 @@ func hplSuite(o Options) (*hplSuiteResult, error) {
 		suite.runs = groupByScale(keys, runs)
 		return suite, nil
 	})
+	if err != nil && errors.Is(err, ErrCanceled) {
+		// A canceled build must not poison the cache for later callers.
+		hplSuiteCache.Forget(o.key())
+	}
+	return s, err
 }
 
 func (s *hplSuiteResult) metricTable(title, unit string, f func(hplRun) float64) *stats.Table {
@@ -374,8 +391,8 @@ func modeCols(modes []Mode, unit string) []string {
 
 // Fig5 reports HPL execution time with one checkpoint at t=60 s (Figure 5a)
 // and the per-mode difference from NORM (Figure 5b).
-func Fig5(o Options) (*stats.Table, *stats.Table, error) {
-	s, err := hplSuite(o)
+func Fig5(ctx context.Context, o Options) (*stats.Table, *stats.Table, error) {
+	s, err := hplSuite(ctx, o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -408,8 +425,8 @@ func collect(runs []hplRun, f func(hplRun) float64) []float64 {
 
 // Fig6 reports the summed per-process checkpoint time (6a) and restart time
 // (6b) for the HPL suite.
-func Fig6(o Options) (*stats.Table, *stats.Table, error) {
-	s, err := hplSuite(o)
+func Fig6(ctx context.Context, o Options) (*stats.Table, *stats.Table, error) {
+	s, err := hplSuite(ctx, o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -423,8 +440,8 @@ func Fig6(o Options) (*stats.Table, *stats.Table, error) {
 }
 
 // Fig7 reports the total data resent to complete a restart.
-func Fig7(o Options) (*stats.Table, error) {
-	s, err := hplSuite(o)
+func Fig7(ctx context.Context, o Options) (*stats.Table, error) {
+	s, err := hplSuite(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -445,8 +462,8 @@ func Fig7(o Options) (*stats.Table, error) {
 }
 
 // Fig8 reports the number of resend operations to complete a restart.
-func Fig8(o Options) (*stats.Table, error) {
-	s, err := hplSuite(o)
+func Fig8(ctx context.Context, o Options) (*stats.Table, error) {
+	s, err := hplSuite(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -468,8 +485,8 @@ func Fig8(o Options) (*stats.Table, error) {
 
 // Fig9 reports the mean per-process checkpoint stage breakdown at the
 // smallest and largest scale in the suite.
-func Fig9(o Options) (*stats.Table, error) {
-	s, err := hplSuite(o)
+func Fig9(ctx context.Context, o Options) (*stats.Table, error) {
+	s, err := hplSuite(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -515,7 +532,7 @@ type fig10Point struct {
 
 // Fig10 sweeps the checkpoint interval (0 = no checkpoints) for GP vs NORM
 // and reports execution time and completed checkpoint count.
-func Fig10(o Options) (*stats.Table, error) {
+func Fig10(ctx context.Context, o Options) (*stats.Table, error) {
 	nProb, n := 56000, 128
 	intervals := []sim.Time{0, 60 * sim.Second, 120 * sim.Second, 180 * sim.Second, 300 * sim.Second}
 	if o.Quick {
@@ -531,9 +548,9 @@ func Fig10(o Options) (*stats.Table, error) {
 			}
 		}
 	}
-	points, err := runner.Map(o.workers(), keys, func(k fig10Key) (fig10Point, error) {
+	points, err := mapRuns(ctx, o.workers(), keys, func(k fig10Key) (fig10Point, error) {
 		wl := workload.NewHPL(nProb, n)
-		res, err := Run(Spec{
+		res, err := Run(ctx, Spec{
 			WL: wl, Mode: k.Mode,
 			Seed:     int64(500000 + int(k.Interval/sim.Second)*10 + k.Rep),
 			Sched:    Schedule{Interval: k.Interval},
@@ -580,11 +597,11 @@ type npbPoint struct {
 	ck, rst float64
 }
 
-func npbSuiteTable(o Options, name string, scales []int, modes []Mode,
+func npbSuiteTable(ctx context.Context, o Options, name string, scales []int, modes []Mode,
 	mk func(n int) workload.Workload, ckptAt sim.Time) (*stats.Table, *stats.Table, error) {
 	keys := matrix(scales, modes, o.reps())
-	points, err := runner.Map(o.workers(), keys, func(k runKey) (npbPoint, error) {
-		res, err := Run(Spec{
+	points, err := mapRuns(ctx, o.workers(), keys, func(k runKey) (npbPoint, error) {
+		res, err := Run(ctx, Spec{
 			WL: mk(k.Scale), Mode: k.Mode,
 			Seed:  int64(900000 + 100*k.Scale + k.Rep),
 			Sched: Schedule{At: ckptAt},
@@ -632,7 +649,7 @@ func npbSuiteTable(o Options, name string, scales []int, modes []Mode,
 }
 
 // Fig11 is the CG class C checkpoint/restart sweep (paper Figure 11).
-func Fig11(o Options) (*stats.Table, *stats.Table, error) {
+func Fig11(ctx context.Context, o Options) (*stats.Table, *stats.Table, error) {
 	scales := o.scales([]int{16, 32, 64, 128}, []int{16, 32})
 	ckptAt := 60 * sim.Second
 	mk := func(n int) workload.Workload {
@@ -645,7 +662,7 @@ func Fig11(o Options) (*stats.Table, *stats.Table, error) {
 	if o.Quick {
 		ckptAt = 4 * sim.Second
 	}
-	a, b, err := npbSuiteTable(o, "Figure 11 (CG class C)", scales,
+	a, b, err := npbSuiteTable(ctx, o, "Figure 11 (CG class C)", scales,
 		[]Mode{GP, GP1, GP4, NORM}, mk, ckptAt)
 	if err != nil {
 		return nil, nil, err
@@ -657,7 +674,7 @@ func Fig11(o Options) (*stats.Table, *stats.Table, error) {
 
 // Fig12 is the SP class C checkpoint/restart sweep (paper Figure 12; GP4 is
 // omitted as in the paper — it does not fit SP's square process counts).
-func Fig12(o Options) (*stats.Table, *stats.Table, error) {
+func Fig12(ctx context.Context, o Options) (*stats.Table, *stats.Table, error) {
 	scales := o.scales([]int{64, 81, 100, 121}, []int{16, 25})
 	ckptAt := 60 * sim.Second
 	mk := func(n int) workload.Workload {
@@ -670,7 +687,7 @@ func Fig12(o Options) (*stats.Table, *stats.Table, error) {
 	if o.Quick {
 		ckptAt = 4 * sim.Second
 	}
-	a, b, err := npbSuiteTable(o, "Figure 12 (SP class C)", scales,
+	a, b, err := npbSuiteTable(ctx, o, "Figure 12 (SP class C)", scales,
 		[]Mode{GP, GP1, NORM}, mk, ckptAt)
 	if err != nil {
 		return nil, nil, err
@@ -704,8 +721,8 @@ type vclPair struct {
 // checkpoints using a matched interval (the paper's fairness rule). The two
 // runs of a cell are dependent (GP's schedule derives from VCL's outcome),
 // so each cell runs them back to back; cells fan out across workers.
-func cgRemoteSuite(o Options) (*vclSuiteResult, error) {
-	return vclSuiteCache.Get(o.key(), func() (*vclSuiteResult, error) {
+func cgRemoteSuite(ctx context.Context, o Options) (*vclSuiteResult, error) {
+	s, err := vclSuiteCache.Get(o.key(), func() (*vclSuiteResult, error) {
 		suite := &vclSuiteResult{
 			scales: o.scales([]int{16, 32, 64, 128}, []int{16, 32}),
 			vcl:    map[int][]*Result{},
@@ -724,10 +741,10 @@ func cgRemoteSuite(o Options) (*vclSuiteResult, error) {
 			interval = 25 * sim.Second
 		}
 		keys := matrix(suite.scales, []Mode{VCL}, o.reps())
-		pairs, err := runner.Map(o.workers(), keys, func(k runKey) (vclPair, error) {
+		pairs, err := mapRuns(ctx, o.workers(), keys, func(k runKey) (vclPair, error) {
 			n := k.Scale
 			seed := int64(700000 + 100*n + k.Rep)
-			vres, err := Run(Spec{
+			vres, err := Run(ctx, Spec{
 				WL: mk(n), Mode: VCL, Seed: seed,
 				Sched:         Schedule{Interval: interval},
 				RemoteServers: 4,
@@ -745,7 +762,7 @@ func cgRemoteSuite(o Options) (*vclSuiteResult, error) {
 			// The paper's GP/LAM path reaches the servers via
 			// async-mounted NFS (write-behind); VCL streams
 			// synchronously to its checkpoint server daemons.
-			gres, err := Run(Spec{
+			gres, err := Run(ctx, Spec{
 				WL: mk(n), Mode: GP, Seed: seed,
 				Sched:         Schedule{Interval: gpInterval, MaxCount: count},
 				RemoteServers: 4,
@@ -765,12 +782,16 @@ func cgRemoteSuite(o Options) (*vclSuiteResult, error) {
 		}
 		return suite, nil
 	})
+	if err != nil && errors.Is(err, ErrCanceled) {
+		vclSuiteCache.Forget(o.key())
+	}
+	return s, err
 }
 
 // Fig13 reports execution time and checkpoint counts for GP vs VCL with
 // remote checkpoint storage.
-func Fig13(o Options) (*stats.Table, error) {
-	s, err := cgRemoteSuite(o)
+func Fig13(ctx context.Context, o Options) (*stats.Table, error) {
+	s, err := cgRemoteSuite(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -788,8 +809,8 @@ func Fig13(o Options) (*stats.Table, error) {
 }
 
 // Fig14 reports the average time per checkpoint for GP vs VCL.
-func Fig14(o Options) (*stats.Table, error) {
-	s, err := cgRemoteSuite(o)
+func Fig14(ctx context.Context, o Options) (*stats.Table, error) {
+	s, err := cgRemoteSuite(ctx, o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ func TestFullScaleShapes(t *testing.T) {
 		t.Skip("full-scale shape check")
 	}
 	// Figure 1 shape: aggregate coordination grows superlinearly.
-	tb, err := Fig1(Options{Reps: 1, Scales: []int{16, 64}})
+	tb, err := Fig1(context.Background(), Options{Reps: 1, Scales: []int{16, 64}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestFullScaleShapes(t *testing.T) {
 	}
 
 	// Figure 6a shape at one mid scale: NORM ≫ GP ≥ GP1.
-	a, _, err := Fig6(Options{Reps: 1, Scales: []int{64}})
+	a, _, err := Fig6(context.Background(), Options{Reps: 1, Scales: []int{64}})
 	if err != nil {
 		t.Fatal(err)
 	}

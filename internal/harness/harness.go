@@ -5,6 +5,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/ckpt"
@@ -24,13 +26,15 @@ import (
 // notation.
 type Mode string
 
-// The paper's five configurations.
+// The paper's five configurations, plus None (no checkpoint engine at all —
+// the baseline for tracing passes and overhead comparisons).
 const (
 	GP   Mode = "GP"   // trace-assisted group formation
 	GP1  Mode = "GP1"  // one process per group (uncoordinated + logging)
 	GP4  Mode = "GP4"  // four ad-hoc groups of sequential ranks
 	NORM Mode = "NORM" // one global group (LAM/MPI coordinated)
 	VCL  Mode = "VCL"  // MPICH-VCL (Chandy–Lamport, remote servers)
+	None Mode = "NONE" // no protocol engine: the bare application
 )
 
 // Schedule describes when checkpoints are requested.
@@ -58,27 +62,21 @@ type Spec struct {
 	// configuration in Section 5.3); VCL always streams synchronously.
 	RemoteAsync bool
 
-	// Trace attaches the full record tracer to the run. Memory scales
-	// with message count; needed only for timeline/gap analyses and trace
-	// files (Result.Trace).
-	Trace bool
-
-	// Comm attaches the streaming CommMatrix tracer to the run
-	// (Result.Comm): pairwise bytes/counts aggregated online, memory
-	// bounded by communicating pairs, usable at any scale. Trace and Comm
-	// compose (a Tee observes for both).
-	Comm bool
+	// Observers stack arbitrary per-run instrumentation onto the run:
+	// each may install a tracer (fanned out through a trace.Tee when
+	// several do), register engine hooks, and publish into the Result.
+	// TraceObserver, CommObserver, and InspectObserver cover the classic
+	// needs; user-defined observers compose with them. Observers are
+	// per-run objects — never share one across concurrent specs.
+	Observers []Observer
 
 	// GroupMax bounds GP's trace-derived group size (0 = ⌈√n⌉).
 	GroupMax int
 
-	// Inspect attaches the invariant-oracle introspection: world message
-	// statistics and per-pair byte flows (Result.MsgStats, Result.Flows),
-	// mailbox depths at termination (Result.QueuedApp/QueuedCtrl), and
-	// per-checkpoint cut records (Result.Cuts; group-based modes only).
-	// Flows cost O(communicating pairs) at the end of the run; everything
-	// else is a few integers.
-	Inspect bool
+	// Formation, when non-nil, overrides GP's trace-derived group
+	// formation (the paper's "subsequent executions may use the same
+	// group definition file"). Ignored by the other modes.
+	Formation *group.Formation
 
 	// Horizon caps virtual time (0 = unlimited). A run whose application
 	// has not finished by the horizon fails with an error — the liveness
@@ -122,7 +120,7 @@ type Result struct {
 	// when the spec armed a FailureProc.
 	Failures []failure.Outcome
 
-	// Invariant-oracle introspection, populated when Spec.Inspect is set.
+	// Invariant-oracle introspection, populated by an InspectObserver.
 	MsgStats   mpi.Stats
 	Flows      []mpi.PairFlow
 	QueuedApp  int
@@ -146,39 +144,105 @@ func (s *Spec) storageDefaults() {
 	}
 }
 
-// Run executes one experiment run to completion.
-func Run(spec Spec) (*Result, error) {
+// validModes is the mode set Run accepts, checked up front so every
+// rejection wraps ErrBadSpec.
+var validModes = map[Mode]bool{GP: true, GP1: true, GP4: true, NORM: true, VCL: true, None: true}
+
+// validate rejects a spec the engines cannot honor. Every error wraps
+// ErrBadSpec and names the offending field.
+func (s *Spec) validate() error {
+	switch {
+	case s.WL == nil:
+		return fmt.Errorf("harness: %w: no workload", ErrBadSpec)
+	case !validModes[s.Mode]:
+		return fmt.Errorf("harness: %w: unknown mode %q", ErrBadSpec, s.Mode)
+	case s.GroupMax < 0:
+		return fmt.Errorf("harness: %w: negative GroupMax %d", ErrBadSpec, s.GroupMax)
+	case s.RemoteServers < 0:
+		return fmt.Errorf("harness: %w: negative RemoteServers %d", ErrBadSpec, s.RemoteServers)
+	case s.Horizon < 0:
+		return fmt.Errorf("harness: %w: negative Horizon %v", ErrBadSpec, s.Horizon)
+	case s.MaxFailures < 0:
+		return fmt.Errorf("harness: %w: negative MaxFailures %d", ErrBadSpec, s.MaxFailures)
+	case s.Sched.At < 0 || s.Sched.Start < 0 || s.Sched.Interval < 0 || s.Sched.MaxCount < 0:
+		return fmt.Errorf("harness: %w: negative checkpoint schedule %+v", ErrBadSpec, s.Sched)
+	case s.FailureProc != nil && (s.Mode == VCL || s.Mode == None):
+		return fmt.Errorf("harness: %w: %s/%s: failure injection requires a group-based mode",
+			ErrBadSpec, s.WL.Name(), s.Mode)
+	case s.Formation != nil && s.Mode != GP:
+		return fmt.Errorf("harness: %w: a formation override requires mode GP, not %s", ErrBadSpec, s.Mode)
+	case (s.Sched.At > 0 || s.Sched.Interval > 0) && s.Mode == None:
+		return fmt.Errorf("harness: %w: mode NONE runs no checkpoint engine to schedule", ErrBadSpec)
+	}
+	if s.Formation != nil {
+		if err := s.Formation.Validate(); err != nil {
+			return fmt.Errorf("harness: %w: formation override: %v", ErrBadSpec, err)
+		}
+	}
+	return nil
+}
+
+// newWorld builds one simulated world: kernel, calibrated cluster, MPI
+// layer. Shared by Run and the GP tracing pass so the two can never drift.
+func newWorld(seed int64, n int, cfg cluster.Config) (*sim.Kernel, *mpi.World) {
+	k := sim.NewKernel(seed)
+	c := cluster.New(k, n, cfg)
+	return k, mpi.NewWorld(k, c, n)
+}
+
+// Run executes one experiment run to completion. Canceling ctx parks the
+// kernel between events and returns an error wrapping ErrCanceled; on every
+// path — completion, cancellation, horizon, deadlock — all simulation
+// goroutines are unwound before Run returns.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
 	spec.Cluster = zeroIsGideon(spec.Cluster)
 	spec.storageDefaults()
 	wl := spec.WL
 	n := wl.Procs()
 
-	k := sim.NewKernel(spec.Seed)
+	// GP's tracing pass runs on its own kernel before the measured run
+	// exists, so resolve the formation first: it honors ctx like the
+	// measured run does, and its errors are spec errors, not run errors.
+	var f group.Formation
+	if spec.Mode != VCL && spec.Mode != None {
+		var err error
+		if f, err = formationFor(ctx, spec); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name(), spec.Mode, ErrCanceled)
+	}
+
+	k, w := newWorld(spec.Seed, n, spec.Cluster)
+	defer k.Shutdown()
 	if spec.Horizon > 0 {
 		k.SetHorizon(spec.Horizon)
 	}
-	c := cluster.New(k, n, spec.Cluster)
-	w := mpi.NewWorld(k, c, n)
+	stop := context.AfterFunc(ctx, k.Interrupt)
+	defer stop()
 
-	var rec *trace.Recorder
-	var comm *trace.CommMatrix
-	if spec.Trace {
-		rec = &trace.Recorder{}
+	env := &RunEnv{World: w}
+	var tracers trace.Tee
+	for _, obs := range spec.Observers {
+		if tr := obs.BeforeRun(env); tr != nil {
+			tracers = append(tracers, tr)
+		}
 	}
-	if spec.Comm {
-		comm = trace.NewCommMatrix()
+	switch len(tracers) {
+	case 0:
+	case 1:
+		w.Tracer = tracers[0]
+	default:
+		w.Tracer = tracers
 	}
-	switch {
-	case rec != nil && comm != nil:
-		w.Tracer = trace.Tee{rec, comm}
-	case rec != nil:
-		w.Tracer = rec
-	case comm != nil:
-		w.Tracer = comm
-	}
+
 	var store cluster.Storage = cluster.LocalDisk{}
 	if spec.RemoteServers > 0 {
-		rs := cluster.NewRemoteStore(c, spec.RemoteServers, spec.ServerNIC, spec.ServerDisk)
+		rs := cluster.NewRemoteStore(w.C, spec.RemoteServers, spec.ServerNIC, spec.ServerDisk)
 		if spec.RemoteAsync {
 			store = cluster.NewAsyncRemote(rs, 0)
 		} else {
@@ -201,19 +265,32 @@ func Run(spec Spec) (*Result, error) {
 		}
 	}
 
-	switch spec.Mode {
-	case VCL:
-		if spec.FailureProc != nil {
-			return nil, fmt.Errorf("harness: %s/%s: failure injection requires a group-based mode", wl.Name(), spec.Mode)
+	runKernel := func() error {
+		if err := k.Run(); err != nil {
+			if errors.Is(err, sim.ErrCanceled) {
+				return fmt.Errorf("harness: %s/%s: %w", wl.Name(), spec.Mode, ErrCanceled)
+			}
+			return fmt.Errorf("harness: %s/%s: %w", wl.Name(), spec.Mode, err)
 		}
+		return nil
+	}
+
+	switch spec.Mode {
+	case None:
+		w.Launch(wl.Body)
+		if err := runKernel(); err != nil {
+			return nil, err
+		}
+		res.Name = "none"
+	case VCL:
 		v := core.NewVCL(w, store, wl.ImageBytes)
 		schedule(
 			func(t sim.Time, _ []int) { v.ScheduleAt(t) },
 			v.SchedulePeriodic,
 		)
 		w.Launch(wl.Body)
-		if err := k.Run(); err != nil {
-			return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name(), spec.Mode, err)
+		if err := runKernel(); err != nil {
+			return nil, err
 		}
 		res.Name = v.Name()
 		res.Records = v.Records()
@@ -222,15 +299,9 @@ func Run(spec Spec) (*Result, error) {
 		res.Epochs = v.Epochs()
 		res.Spans = v.EpochSpans()
 	default:
-		f, err := formationFor(spec)
-		if err != nil {
-			return nil, err
-		}
 		cfg := core.DefaultConfig(f, wl.ImageBytes)
 		cfg.Store = store
-		if spec.Inspect {
-			cfg.OnCut = func(c core.Cut) { res.Cuts = append(res.Cuts, c) }
-		}
+		cfg.OnCut = env.cutHook()
 		e := core.NewEngine(w, cfg)
 		schedule(e.ScheduleAt, e.SchedulePeriodic)
 		var inj *failure.Injector
@@ -243,8 +314,8 @@ func Run(spec Spec) (*Result, error) {
 			inj.Arm()
 		}
 		w.Launch(wl.Body)
-		if err := k.Run(); err != nil {
-			return nil, fmt.Errorf("harness: %s/%s: %w", wl.Name(), spec.Mode, err)
+		if err := runKernel(); err != nil {
+			return nil, err
 		}
 		if inj != nil {
 			res.Failures = inj.Outcomes()
@@ -261,8 +332,8 @@ func Run(spec Spec) (*Result, error) {
 	if spec.Horizon > 0 {
 		for _, r := range w.Ranks {
 			if !r.Finished {
-				return nil, fmt.Errorf("harness: %s/%s: rank %d still blocked at horizon %v — deadlock, livelock, or lost message",
-					wl.Name(), spec.Mode, r.ID, spec.Horizon)
+				return nil, fmt.Errorf("harness: %s/%s: rank %d still blocked at horizon %v — deadlock, livelock, or lost message: %w",
+					wl.Name(), spec.Mode, r.ID, spec.Horizon, ErrHorizon)
 			}
 		}
 	}
@@ -271,15 +342,9 @@ func Run(spec Spec) (*Result, error) {
 			res.ExecTime = r.FinishTime
 		}
 	}
-	if rec != nil {
-		res.Trace = rec.Records
-	}
-	res.Comm = comm
 	res.Events = k.Events()
-	if spec.Inspect {
-		res.MsgStats = w.Stats()
-		res.Flows = w.PairFlows()
-		res.QueuedApp, res.QueuedCtrl = w.Queued()
+	for _, obs := range spec.Observers {
+		obs.AfterRun(res)
 	}
 	return res, nil
 }
@@ -303,8 +368,9 @@ func Restart(res *Result, seed int64) (core.RestartOutcome, error) {
 
 // formationFor resolves the group formation for a group-based mode. GP runs
 // (and caches) a tracing pass of the workload, then applies the paper's
-// Algorithm 2 — the cmd/gbtrace → cmd/gbgroup pipeline in-process.
-func formationFor(spec Spec) (group.Formation, error) {
+// Algorithm 2 — the cmd/gbtrace → cmd/gbgroup pipeline in-process — unless
+// the spec carries a formation override (a group definition file).
+func formationFor(ctx context.Context, spec Spec) (group.Formation, error) {
 	n := spec.WL.Procs()
 	switch spec.Mode {
 	case NORM:
@@ -314,9 +380,12 @@ func formationFor(spec Spec) (group.Formation, error) {
 	case GP4:
 		return group.Fixed(n, 4), nil
 	case GP:
-		return tracedFormation(spec)
+		if spec.Formation != nil {
+			return *spec.Formation, nil
+		}
+		return tracedFormation(ctx, spec)
 	default:
-		return group.Formation{}, fmt.Errorf("harness: unknown mode %q", spec.Mode)
+		return group.Formation{}, fmt.Errorf("harness: %w: unknown mode %q", ErrBadSpec, spec.Mode)
 	}
 }
 
@@ -328,7 +397,13 @@ var formationCache runner.Memo[group.Formation]
 // message count. Results are cached per workload configuration; concurrent
 // runs that need the same formation share one tracing pass, while distinct
 // configurations trace in parallel.
-func tracedFormation(spec Spec) (group.Formation, error) {
+//
+// The pass honors ctx: the tracing kernel is interruptible like the
+// measured run's. A shared in-flight build canceled by one caller can fail
+// a concurrent waiter with ErrCanceled even though the waiter's own ctx is
+// live — the canceled entry is dropped from the cache, so a retry rebuilds
+// it.
+func tracedFormation(ctx context.Context, spec Spec) (group.Formation, error) {
 	n := spec.WL.Procs()
 	max := spec.GroupMax
 	if max <= 0 {
@@ -339,17 +414,21 @@ func tracedFormation(spec Spec) (group.Formation, error) {
 	// skeleton's knobs) and the cluster calibration — scenario specs can
 	// vary both, and two configurations must never share a formation.
 	key := fmt.Sprintf("%s/n%d/G%d/%+v", spec.WL.Name(), n, max, zeroIsGideon(spec.Cluster))
-	return formationCache.Get(key, func() (group.Formation, error) {
-		k := sim.NewKernel(977)
+	f, err := formationCache.Get(key, func() (group.Formation, error) {
 		cfg := zeroIsGideon(spec.Cluster)
 		cfg.JitterFrac = 0
 		cfg.DaemonEvery = 0
-		c := cluster.New(k, n, cfg)
-		w := mpi.NewWorld(k, c, n)
+		k, w := newWorld(977, n, cfg)
+		defer k.Shutdown()
+		stop := context.AfterFunc(ctx, k.Interrupt)
+		defer stop()
 		m := trace.NewCommMatrix()
 		w.Tracer = m
 		w.Launch(spec.WL.Body)
 		if err := k.Run(); err != nil {
+			if errors.Is(err, sim.ErrCanceled) {
+				return group.Formation{}, fmt.Errorf("harness: tracing pass for %s: %w", key, ErrCanceled)
+			}
 			return group.Formation{}, fmt.Errorf("harness: tracing pass for %s: %w", key, err)
 		}
 		f := group.FromMatrix(m, n, max)
@@ -358,6 +437,11 @@ func tracedFormation(spec Spec) (group.Formation, error) {
 		}
 		return f, nil
 	})
+	if err != nil && errors.Is(err, ErrCanceled) {
+		// A canceled pass must not poison the cache for later callers.
+		formationCache.Forget(key)
+	}
+	return f, err
 }
 
 // AggregateCoordination sums per-rank checkpoint durations excluding the

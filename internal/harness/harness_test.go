@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 )
 
 func TestRunNormSingleCheckpoint(t *testing.T) {
-	res, err := Run(Spec{
+	res, err := Run(context.Background(), Spec{
 		WL: workload.NewSynthetic(4, 60), Mode: NORM, Seed: 1,
 		Sched: Schedule{At: sim.Second},
 	})
@@ -30,7 +31,7 @@ func TestRunNormSingleCheckpoint(t *testing.T) {
 }
 
 func TestRunGPUsesTracedFormation(t *testing.T) {
-	res, err := Run(Spec{
+	res, err := Run(context.Background(), Spec{
 		WL: workload.NewSynthetic(8, 40), Mode: GP, Seed: 1,
 		Sched: Schedule{At: sim.Second},
 	})
@@ -47,12 +48,12 @@ func TestRunGPUsesTracedFormation(t *testing.T) {
 
 func TestFormationCacheHit(t *testing.T) {
 	spec := Spec{WL: workload.NewSynthetic(8, 40), Mode: GP, Seed: 1}
-	f1, err := formationFor(spec)
+	f1, err := formationFor(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := formationCache.Len()
-	f2, err := formationFor(spec)
+	f2, err := formationFor(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFormationCacheHit(t *testing.T) {
 }
 
 func TestRunVCLWithRemoteServers(t *testing.T) {
-	res, err := Run(Spec{
+	res, err := Run(context.Background(), Spec{
 		WL: workload.NewSynthetic(4, 60), Mode: VCL, Seed: 1,
 		Sched:         Schedule{At: sim.Second},
 		RemoteServers: 2,
@@ -90,14 +91,14 @@ func TestRunVCLWithRemoteServers(t *testing.T) {
 }
 
 func TestRunUnknownModeFails(t *testing.T) {
-	_, err := Run(Spec{WL: workload.NewSynthetic(2, 5), Mode: "bogus", Seed: 1})
+	_, err := Run(context.Background(), Spec{WL: workload.NewSynthetic(2, 5), Mode: "bogus", Seed: 1})
 	if err == nil {
 		t.Error("unknown mode accepted")
 	}
 }
 
 func TestRestartAfterGPRun(t *testing.T) {
-	res, err := Run(Spec{
+	res, err := Run(context.Background(), Spec{
 		WL: workload.NewSynthetic(8, 60), Mode: GP1, Seed: 3,
 		Sched: Schedule{At: sim.Second},
 	})
@@ -114,12 +115,17 @@ func TestRestartAfterGPRun(t *testing.T) {
 }
 
 func TestTraceAttached(t *testing.T) {
-	res, err := Run(Spec{WL: workload.NewSynthetic(2, 10), Mode: NORM, Seed: 1, Trace: true})
+	obs := NewTraceObserver()
+	res, err := Run(context.Background(), Spec{WL: workload.NewSynthetic(2, 10), Mode: NORM, Seed: 1,
+		Observers: []Observer{obs}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Trace) == 0 {
 		t.Error("trace requested but empty")
+	}
+	if len(obs.Records()) != len(res.Trace) {
+		t.Errorf("observer records %d != result trace %d", len(obs.Records()), len(res.Trace))
 	}
 }
 
@@ -137,7 +143,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestFig1Quick(t *testing.T) {
-	tb, err := Fig1(Options{Quick: true, Reps: 1, Scales: []int{16}})
+	tb, err := Fig1(context.Background(), Options{Quick: true, Reps: 1, Scales: []int{16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +156,7 @@ func TestFig1Quick(t *testing.T) {
 }
 
 func TestTable1QuickRecoversColumns(t *testing.T) {
-	tb, err := Table1(Options{Quick: true})
+	tb, err := Table1(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +170,7 @@ func TestTable1QuickRecoversColumns(t *testing.T) {
 }
 
 func TestFig5QuickShapes(t *testing.T) {
-	a, b, err := Fig5(Options{Quick: true, Reps: 1, Scales: []int{16}})
+	a, b, err := Fig5(context.Background(), Options{Quick: true, Reps: 1, Scales: []int{16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +184,7 @@ func TestFig5QuickShapes(t *testing.T) {
 }
 
 func TestFig6QuickShapes(t *testing.T) {
-	a, b, err := Fig6(Options{Quick: true, Reps: 1, Scales: []int{16}})
+	a, b, err := Fig6(context.Background(), Options{Quick: true, Reps: 1, Scales: []int{16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +194,7 @@ func TestFig6QuickShapes(t *testing.T) {
 }
 
 func TestAggregateCoordinationExcludesWrite(t *testing.T) {
-	res, err := Run(Spec{
+	res, err := Run(context.Background(), Spec{
 		WL: workload.NewSynthetic(4, 60), Mode: NORM, Seed: 1,
 		Sched: Schedule{At: sim.Second},
 	})
@@ -210,11 +216,11 @@ func TestAggregateCoordinationExcludesWrite(t *testing.T) {
 
 func TestFig7Fig8QuickShapes(t *testing.T) {
 	o := Options{Quick: true, Reps: 1, Scales: []int{16}}
-	t7, err := Fig7(o)
+	t7, err := Fig7(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t8, err := Fig8(o)
+	t8, err := Fig8(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +230,7 @@ func TestFig7Fig8QuickShapes(t *testing.T) {
 }
 
 func TestFig9QuickHasAllModes(t *testing.T) {
-	tb, err := Fig9(Options{Quick: true, Reps: 1, Scales: []int{16}})
+	tb, err := Fig9(context.Background(), Options{Quick: true, Reps: 1, Scales: []int{16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +241,7 @@ func TestFig9QuickHasAllModes(t *testing.T) {
 }
 
 func TestFig10Quick(t *testing.T) {
-	tb, err := Fig10(Options{Quick: true, Reps: 1})
+	tb, err := Fig10(context.Background(), Options{Quick: true, Reps: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,14 +255,14 @@ func TestFig10Quick(t *testing.T) {
 }
 
 func TestFig11Fig12Quick(t *testing.T) {
-	a, b, err := Fig11(Options{Quick: true, Reps: 1, Scales: []int{16}})
+	a, b, err := Fig11(context.Background(), Options{Quick: true, Reps: 1, Scales: []int{16}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a.Rows) != 1 || len(b.Rows) != 1 {
 		t.Fatal("CG tables wrong size")
 	}
-	a, b, err = Fig12(Options{Quick: true, Reps: 1, Scales: []int{16}})
+	a, b, err = Fig12(context.Background(), Options{Quick: true, Reps: 1, Scales: []int{16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,11 +273,11 @@ func TestFig11Fig12Quick(t *testing.T) {
 
 func TestFig13Fig14Quick(t *testing.T) {
 	o := Options{Quick: true, Reps: 1, Scales: []int{16}}
-	t13, err := Fig13(o)
+	t13, err := Fig13(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t14, err := Fig14(o)
+	t14, err := Fig14(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +294,7 @@ func TestFig13Fig14Quick(t *testing.T) {
 }
 
 func TestFig2Quick(t *testing.T) {
-	r, err := Fig2(Options{Quick: true, Reps: 1, Scales: []int{8}})
+	r, err := Fig2(context.Background(), Options{Quick: true, Reps: 1, Scales: []int{8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,17 +306,17 @@ func TestFig2Quick(t *testing.T) {
 	}
 }
 
-// TestCommMatrixThroughRun exercises Spec.Comm: a run with the streaming
-// matrix attached exposes Result.Comm, composes with Spec.Trace via a Tee
-// (both observers see the same traffic), and derives the same formation as
-// the full record trace.
+// TestCommMatrixThroughRun exercises the stacked observers: a run with the
+// streaming matrix attached exposes Result.Comm, composes with a
+// TraceObserver via a Tee (both observers see the same traffic), and
+// derives the same formation as the full record trace.
 func TestCommMatrixThroughRun(t *testing.T) {
 	spec := Spec{
 		WL: workload.NewSynthetic(8, 30), Mode: GP1, Seed: 3,
-		Sched: Schedule{At: 2 * sim.Second},
-		Trace: true, Comm: true,
+		Sched:     Schedule{At: 2 * sim.Second},
+		Observers: []Observer{NewTraceObserver(), NewCommObserver()},
 	}
-	res, err := Run(spec)
+	res, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,13 +344,13 @@ func TestCommMatrixThroughRun(t *testing.T) {
 	}
 
 	// Comm alone: no record buffering, matrix identical.
-	spec.Trace = false
-	only, err := Run(spec)
+	spec.Observers = []Observer{NewCommObserver()}
+	only, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(only.Trace) != 0 {
-		t.Error("Trace records buffered without Spec.Trace")
+		t.Error("Trace records buffered without a TraceObserver")
 	}
 	if only.Comm == nil || only.Comm.Sends() != sends {
 		t.Errorf("comm-only run folded %v sends, want %d", only.Comm, sends)

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -16,17 +17,17 @@ func TestParallelMatchesSerial(t *testing.T) {
 	render := func(o Options) []string {
 		ResetCaches()
 		var out []string
-		f1, err := Fig1(o)
+		f1, err := Fig1(context.Background(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
 		out = append(out, f1.String())
-		a, b, err := Fig6(o)
+		a, b, err := Fig6(context.Background(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
 		out = append(out, a.String(), b.String())
-		f13, err := Fig13(o)
+		f13, err := Fig13(context.Background(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestConcurrentFormationCache(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			f, err := formationFor(specs[i%len(specs)])
+			f, err := formationFor(context.Background(), specs[i%len(specs)])
 			if err != nil {
 				t.Error(err)
 				return
@@ -100,7 +101,7 @@ func TestConcurrentRuns(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := Run(spec)
+			res, err := Run(context.Background(), spec)
 			if err != nil {
 				t.Error(err)
 				return

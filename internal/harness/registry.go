@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/stats"
@@ -12,14 +13,14 @@ import (
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(o Options) ([]*stats.Table, error)
+	Run   func(ctx context.Context, o Options) ([]*stats.Table, error)
 }
 
 // one and two adapt the figure functions' natural signatures to the
 // registry's uniform []*stats.Table.
-func one(f func(Options) (*stats.Table, error)) func(Options) ([]*stats.Table, error) {
-	return func(o Options) ([]*stats.Table, error) {
-		t, err := f(o)
+func one(f func(context.Context, Options) (*stats.Table, error)) func(context.Context, Options) ([]*stats.Table, error) {
+	return func(ctx context.Context, o Options) ([]*stats.Table, error) {
+		t, err := f(ctx, o)
 		if err != nil {
 			return nil, err
 		}
@@ -27,9 +28,9 @@ func one(f func(Options) (*stats.Table, error)) func(Options) ([]*stats.Table, e
 	}
 }
 
-func two(f func(Options) (*stats.Table, *stats.Table, error)) func(Options) ([]*stats.Table, error) {
-	return func(o Options) ([]*stats.Table, error) {
-		a, b, err := f(o)
+func two(f func(context.Context, Options) (*stats.Table, *stats.Table, error)) func(context.Context, Options) ([]*stats.Table, error) {
+	return func(ctx context.Context, o Options) ([]*stats.Table, error) {
+		a, b, err := f(ctx, o)
 		if err != nil {
 			return nil, err
 		}
@@ -43,8 +44,8 @@ func two(f func(Options) (*stats.Table, *stats.Table, error)) func(Options) ([]*
 // two can never drift.
 var experiments = []Experiment{
 	{"fig1", "aggregate coordination time of one global checkpoint (HPL, NORM)", one(Fig1)},
-	{"fig2", "CG under VCL: gap fraction of checkpoint windows", func(o Options) ([]*stats.Table, error) {
-		r, err := Fig2(o)
+	{"fig2", "CG under VCL: gap fraction of checkpoint windows", func(ctx context.Context, o Options) ([]*stats.Table, error) {
+		r, err := Fig2(ctx, o)
 		if err != nil {
 			return nil, err
 		}

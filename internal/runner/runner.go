@@ -12,6 +12,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,9 +31,18 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // returns the error of the lowest-indexed failed key (deterministic even
 // when several keys fail in the same batch) along with a nil slice.
 func Map[K, T any](workers int, keys []K, fn func(K) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, keys, fn)
+}
+
+// MapCtx is Map with cancellation: once ctx is done the pool stops handing
+// out new keys, waits for in-flight calls, and returns the context's error
+// (unless a key failed first — a key error at a lower index wins, keeping
+// the error deterministic). fn itself is expected to observe ctx through
+// its closure if its work should stop mid-key.
+func MapCtx[K, T any](ctx context.Context, workers int, keys []K, fn func(K) (T, error)) ([]T, error) {
 	n := len(keys)
 	if n == 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -44,6 +54,9 @@ func Map[K, T any](workers int, keys []K, fn func(K) (T, error)) ([]T, error) {
 		// Serial fast path: no goroutines, errors abort immediately.
 		results := make([]T, n)
 		for i, k := range keys {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(k)
 			if err != nil {
 				return nil, err
@@ -71,7 +84,7 @@ func Map[K, T any](workers int, keys []K, fn func(K) (T, error)) ([]T, error) {
 				// claimed in order and a claimed index always runs,
 				// so every key below a failed key executes and the
 				// lowest-indexed error is always observed.
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -96,7 +109,74 @@ func Map[K, T any](workers int, keys []K, fn func(K) (T, error)) ([]T, error) {
 	if firstEr != nil {
 		return nil, firstEr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
+}
+
+// Indexed carries one streamed result: the input index it belongs to and
+// either its value or its error.
+type Indexed[T any] struct {
+	Index int
+	Val   T
+	Err   error
+}
+
+// Each applies fn to every key on up to workers goroutines and delivers
+// results on the returned channel in completion order — the streaming
+// counterpart to Map, for consumers that want cells as they finish rather
+// than a barrier at the end. The channel closes once every claimed key has
+// been delivered or dropped.
+//
+// Cancellation contract: when ctx is done, workers stop claiming new keys
+// and stop delivering (an undeliverable in-flight result is dropped), so a
+// consumer that cancels and then drains the channel never leaks a
+// goroutine. Unlike Map, an error result does not stop the pool — the
+// consumer decides whether to cancel.
+func Each[K, T any](ctx context.Context, workers int, keys []K, fn func(K) (T, error)) <-chan Indexed[T] {
+	n := len(keys)
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make(chan Indexed[T])
+	if n == 0 {
+		close(out)
+		return out
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(keys[i])
+				select {
+				case out <- Indexed[T]{Index: i, Val: v, Err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
 }
 
 // Memo is a concurrency-safe memoization table keyed by string, used for the
@@ -129,6 +209,15 @@ func (c *Memo[T]) Get(key string, build func() (T, error)) (T, error) {
 	c.mu.Unlock()
 	e.once.Do(func() { e.val, e.err = build() })
 	return e.val, e.err
+}
+
+// Forget drops the entry for key (no-op if absent), so a later Get rebuilds
+// it. Used to avoid caching transient failures — a canceled context must
+// not poison the cache for every later caller of the same key.
+func (c *Memo[T]) Forget(key string) {
+	c.mu.Lock()
+	delete(c.m, key)
+	c.mu.Unlock()
 }
 
 // Len reports how many keys have an entry (built or in flight).

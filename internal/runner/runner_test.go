@@ -1,8 +1,10 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -208,5 +210,110 @@ func TestMemoErrorCachedUntilReset(t *testing.T) {
 	m.Reset()
 	if v, err := m.Get("k", func() (int, error) { return 9, nil }); err != nil || v != 9 {
 		t.Fatalf("after Reset: %d, %v; want 9, nil", v, err)
+	}
+}
+
+func TestMapCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, 4, []int{1, 2, 3}, func(k int) (int, error) { return k, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestMapCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	keys := make([]int, 1000)
+	_, err := MapCtx(ctx, 4, keys, func(k int) (int, error) {
+		if started.Add(1) == 10 {
+			cancel()
+		}
+		return k, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("all %d keys ran despite cancellation", n)
+	}
+}
+
+func TestMapCtxKeyErrorBeatsCancel(t *testing.T) {
+	// A key failure and a cancellation in the same batch: the key error
+	// wins (deterministic, matches Map's lowest-index rule).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	_, err := MapCtx(ctx, 2, []int{0, 1}, func(k int) (int, error) {
+		if k == 0 {
+			cancel()
+			return 0, boom
+		}
+		return k, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the key error", err)
+	}
+}
+
+func TestEachStreamsAllResults(t *testing.T) {
+	keys := []int{10, 20, 30, 40, 50}
+	seen := map[int]int{}
+	for r := range Each(context.Background(), 3, keys, func(k int) (int, error) { return k * 2, nil }) {
+		if r.Err != nil {
+			t.Fatalf("key %d: %v", r.Index, r.Err)
+		}
+		seen[r.Index] = r.Val
+	}
+	if len(seen) != len(keys) {
+		t.Fatalf("got %d results, want %d", len(seen), len(keys))
+	}
+	for i, k := range keys {
+		if seen[i] != k*2 {
+			t.Fatalf("index %d: got %d, want %d", i, seen[i], k*2)
+		}
+	}
+}
+
+func TestEachErrorsDoNotStopPool(t *testing.T) {
+	boom := errors.New("boom")
+	var oks, errs int
+	for r := range Each(context.Background(), 2, []int{0, 1, 2, 3}, func(k int) (int, error) {
+		if k%2 == 0 {
+			return 0, boom
+		}
+		return k, nil
+	}) {
+		if r.Err != nil {
+			errs++
+		} else {
+			oks++
+		}
+	}
+	if oks != 2 || errs != 2 {
+		t.Fatalf("got %d oks, %d errs; want 2 and 2", oks, errs)
+	}
+}
+
+func TestEachCancelAndDrainDoesNotLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		keys := make([]int, 100)
+		ch := Each(ctx, 4, keys, func(k int) (int, error) { return k, nil })
+		// Read one result, cancel, drain.
+		<-ch
+		cancel()
+		for range ch {
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
 	}
 }

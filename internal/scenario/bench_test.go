@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -27,7 +28,7 @@ func BenchmarkScenario4096(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Run(0); err != nil {
+		if _, err := s.Run(context.Background(), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -44,7 +45,7 @@ func BenchmarkScenario16384(b *testing.B) {
 		b.Fatal("scale16k built-in missing")
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Run(0); err != nil {
+		if _, err := s.Run(context.Background(), 0); err != nil {
 			b.Fatal(err)
 		}
 	}

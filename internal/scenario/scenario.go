@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,17 +13,6 @@ import (
 	"repro/internal/stats"
 )
 
-// cell is one run of the sweep: the matrix key (scale, mode, rep) in
-// row-major order, mirroring the harness's figure matrices. Seed is the
-// cell's run seed, derived from its position in the flattened matrix so no
-// two cells can collide whatever the Scales/Modes/Reps shape.
-type cell struct {
-	Scale   int
-	ModeIdx int
-	Rep     int
-	Seed    int64
-}
-
 // cellResult is one run's measurements.
 type cellResult struct {
 	exec   float64
@@ -33,8 +23,8 @@ type cellResult struct {
 // Instrument selects per-cell introspection for RunObserved. The zero value
 // adds nothing to the plain Run path.
 type Instrument struct {
-	// Inspect sets harness.Spec.Inspect on every cell (message statistics,
-	// pair flows, queue depths, cut records).
+	// Inspect attaches an InspectObserver to every cell (message
+	// statistics, pair flows, queue depths, cut records).
 	Inspect bool
 	// Comm attaches the streaming CommMatrix tracer to every cell.
 	Comm bool
@@ -49,7 +39,10 @@ type Instrument struct {
 	HorizonS float64
 }
 
-// Cell identifies one run of the sweep to an observer.
+// Cell identifies one run of the sweep: the matrix key (scale, mode, rep)
+// in row-major order, mirroring the harness's figure matrices. Seed is the
+// cell's run seed, derived from its position in the flattened matrix so no
+// two cells can collide whatever the Scales/Modes/Reps shape.
 type Cell struct {
 	Scale int
 	Mode  string
@@ -57,13 +50,75 @@ type Cell struct {
 	Seed  int64
 }
 
+// Cells returns the sweep's flattened run matrix — Scales × Modes × Reps in
+// row-major order, each cell carrying its derived seed. The slice is the
+// unit of streaming: gb.Sweep fans Cells across workers with RunCell and
+// yields them as they finish.
+func (s *Spec) Cells() []Cell {
+	base := s.Seed * 1_000_003
+	cells := make([]Cell, 0, len(s.Scales)*len(s.Modes)*s.Reps)
+	for _, n := range s.Scales {
+		for _, m := range s.Modes {
+			for rep := 0; rep < s.Reps; rep++ {
+				cells = append(cells, Cell{Scale: n, Mode: m, Rep: rep,
+					Seed: base + int64(len(cells))})
+			}
+		}
+	}
+	return cells
+}
+
+// observers builds the per-cell observer stack an Instrument selects. A
+// fresh stack per cell: observers are stateful, single-run objects.
+func (ins Instrument) observers(scale int) []harness.Observer {
+	var obs []harness.Observer
+	if scale <= ins.TraceMaxScale {
+		obs = append(obs, harness.NewTraceObserver())
+	}
+	if ins.Comm {
+		obs = append(obs, harness.NewCommObserver())
+	}
+	if ins.Inspect {
+		obs = append(obs, harness.NewInspectObserver())
+	}
+	return obs
+}
+
+// RunCell executes one cell of the sweep under the given instrumentation.
+// Every cell is an independent simulation fully determined by the spec and
+// the cell's seed, so cells may run concurrently in any order.
+func (s *Spec) RunCell(ctx context.Context, c Cell, ins Instrument) (*harness.Result, error) {
+	clusterCfg, err := s.Cluster.Config()
+	if err != nil {
+		return nil, err
+	}
+	spec := harness.Spec{
+		WL:            s.Workload.Build(c.Scale),
+		Mode:          harness.Mode(c.Mode),
+		Seed:          c.Seed,
+		Cluster:       clusterCfg,
+		Sched:         s.Checkpoint.schedule(),
+		GroupMax:      s.GroupMax,
+		RemoteServers: s.RemoteServers,
+		RemoteAsync:   s.RemoteAsync,
+		Observers:     ins.observers(c.Scale),
+		Horizon:       sim.Seconds(ins.HorizonS),
+	}
+	if s.Failures != nil {
+		spec.FailureProc = s.Failures.process()
+		spec.MaxFailures = s.Failures.Max
+	}
+	return harness.Run(ctx, spec)
+}
+
 // Run executes the sweep — Scales × Modes × Reps independent simulations
 // fanned across workers (≤ 0 = all cores) — and renders one table row per
 // (scale, mode). Every cell is seeded from the spec seed and its matrix
 // coordinates, so the table is byte-identical at any worker count and
-// across runs: a scenario file plus a seed IS the experiment.
-func (s *Spec) Run(workers int) (*stats.Table, error) {
-	return s.RunObserved(workers, Instrument{}, nil)
+// across runs: a scenario file plus a seed IS the experiment. Canceling ctx
+// stops the sweep with an error wrapping harness.ErrCanceled.
+func (s *Spec) Run(ctx context.Context, workers int) (*stats.Table, error) {
+	return s.RunObserved(ctx, workers, Instrument{}, nil)
 }
 
 // RunObserved is Run with per-cell introspection: each completed cell's full
@@ -71,46 +126,18 @@ func (s *Spec) Run(workers int) (*stats.Table, error) {
 // table. obs is called concurrently from worker goroutines and must be safe
 // for concurrent use; an error from obs fails the sweep. The table is
 // byte-identical to Run's — observation never perturbs the simulation.
-func (s *Spec) RunObserved(workers int, ins Instrument, obs func(Cell, *harness.Result) error) (*stats.Table, error) {
-	clusterCfg, err := s.Cluster.Config()
-	if err != nil {
+func (s *Spec) RunObserved(ctx context.Context, workers int, ins Instrument, obs func(Cell, *harness.Result) error) (*stats.Table, error) {
+	if _, err := s.Cluster.Config(); err != nil {
 		return nil, err
 	}
-	base := s.Seed * 1_000_003
-	var cells []cell
-	for _, n := range s.Scales {
-		for mi := range s.Modes {
-			for rep := 0; rep < s.Reps; rep++ {
-				cells = append(cells, cell{Scale: n, ModeIdx: mi, Rep: rep,
-					Seed: base + int64(len(cells))})
-			}
-		}
-	}
-	results, err := runner.Map(workers, cells, func(c cell) (cellResult, error) {
-		spec := harness.Spec{
-			WL:            s.Workload.Build(c.Scale),
-			Mode:          harness.Mode(s.Modes[c.ModeIdx]),
-			Seed:          c.Seed,
-			Cluster:       clusterCfg,
-			Sched:         s.Checkpoint.schedule(),
-			GroupMax:      s.GroupMax,
-			RemoteServers: s.RemoteServers,
-			RemoteAsync:   s.RemoteAsync,
-			Inspect:       ins.Inspect,
-			Comm:          ins.Comm,
-			Trace:         c.Scale <= ins.TraceMaxScale,
-			Horizon:       sim.Seconds(ins.HorizonS),
-		}
-		if s.Failures != nil {
-			spec.FailureProc = s.Failures.process()
-			spec.MaxFailures = s.Failures.Max
-		}
-		res, err := harness.Run(spec)
+	cells := s.Cells()
+	results, err := runner.MapCtx(ctx, workers, cells, func(c Cell) (cellResult, error) {
+		res, err := s.RunCell(ctx, c, ins)
 		if err != nil {
 			return cellResult{}, err
 		}
 		if obs != nil {
-			if err := obs(Cell{Scale: c.Scale, Mode: s.Modes[c.ModeIdx], Rep: c.Rep, Seed: c.Seed}, res); err != nil {
+			if err := obs(c, res); err != nil {
 				return cellResult{}, err
 			}
 		}
@@ -121,12 +148,18 @@ func (s *Spec) RunObserved(workers int, ins Instrument, obs func(Cell, *harness.
 		}, nil
 	})
 	if err != nil {
-		return nil, err
+		// A cancel observed by the pool between cells must carry the same
+		// sentinel as one landing inside a cell.
+		return nil, harness.NormalizeCancel(err)
 	}
 
-	byCell := map[cell][]cellResult{}
+	type rowKey struct {
+		Scale int
+		Mode  string
+	}
+	byCell := map[rowKey][]cellResult{}
 	for i, c := range cells {
-		key := cell{Scale: c.Scale, ModeIdx: c.ModeIdx}
+		key := rowKey{Scale: c.Scale, Mode: c.Mode}
 		byCell[key] = append(byCell[key], results[i])
 	}
 
@@ -136,8 +169,8 @@ func (s *Spec) RunObserved(workers int, ins Instrument, obs func(Cell, *harness.
 		t.Columns = append(t.Columns, "fails", "lost_group_s", "lost_global_s", "saved_s", "replay_KB")
 	}
 	for _, n := range s.Scales {
-		for mi, mode := range s.Modes {
-			rs := byCell[cell{Scale: n, ModeIdx: mi}]
+		for _, mode := range s.Modes {
+			rs := byCell[rowKey{Scale: n, Mode: mode}]
 			row := []any{n, mode,
 				stats.Summarize(collect(rs, func(r cellResult) float64 { return r.exec })),
 				stats.Mean(collect(rs, func(r cellResult) float64 { return r.epochs })),

@@ -233,6 +233,11 @@ var validModes = map[harness.Mode]bool{
 	harness.NORM: true, harness.VCL: true,
 }
 
+// Normalize fills the documented defaults in place — what Parse does for
+// file-borne specs; hand-built specs (and the gb facade) call it before
+// Validate. Idempotent.
+func (s *Spec) Normalize() { s.applyDefaults() }
+
 // applyDefaults fills the documented defaults in place.
 func (s *Spec) applyDefaults() {
 	if s.Name == "" {

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestInterruptReturnsErrCanceled interrupts a run from another goroutine
+// and checks Run comes back with the sentinel instead of simulating to
+// completion.
+func TestInterruptReturnsErrCanceled(t *testing.T) {
+	k := NewKernel(1)
+	var iters int
+	k.Spawn("spinner", func(p *Proc) {
+		for i := 0; i < 1_000_000_000; i++ {
+			iters++
+			p.Hold(Millisecond)
+		}
+	})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		k.Interrupt()
+	}()
+	err := k.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run returned %v, want ErrCanceled", err)
+	}
+	if iters == 0 || iters == 1_000_000_000 {
+		t.Fatalf("interrupt landed at %d iterations, want mid-run", iters)
+	}
+	k.Shutdown()
+}
+
+// TestInterruptBeforeRun cancels before any event is processed.
+func TestInterruptBeforeRun(t *testing.T) {
+	k := NewKernel(1)
+	ran := false
+	k.Spawn("p", func(p *Proc) { ran = true })
+	k.Interrupt()
+	if err := k.Run(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run returned %v, want ErrCanceled", err)
+	}
+	if ran {
+		t.Fatal("process body ran despite pre-run interrupt")
+	}
+	k.Shutdown()
+}
+
+// settleGoroutines polls until the goroutine count drops to at most want, or
+// times out. Unwinding goroutines finish asynchronously after Shutdown's
+// final handoff, so one measurement can race their exits.
+func settleGoroutines(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= want || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShutdownUnwindsBlockedProcs proves the leak contract: after
+// Run + Shutdown, no process goroutine survives, whether it finished,
+// never started, was a parked daemon, or was interrupted mid-primitive.
+func TestShutdownUnwindsBlockedProcs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		k := NewKernel(int64(i))
+		mb := NewMailbox(k, "mb")
+		k.SpawnDaemon("daemon", func(p *Proc) {
+			for {
+				mb.Recv(p, func(any) bool { return true }) // parked forever: nothing sends
+			}
+		})
+		for j := 0; j < 8; j++ {
+			k.Spawn("worker", func(p *Proc) { p.Hold(Second) })
+		}
+		go func() { k.Interrupt() }()
+		if err := k.Run(); err != nil && !errors.Is(err, ErrCanceled) {
+			t.Fatalf("Run: %v", err)
+		}
+		k.Shutdown()
+	}
+	if after := settleGoroutines(t, before); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestShutdownAfterNormalRunReapsDaemons: a run that completes normally
+// still leaves daemon goroutines parked; Shutdown must reap them.
+func TestShutdownAfterNormalRunReapsDaemons(t *testing.T) {
+	before := runtime.NumGoroutine()
+	k := NewKernel(1)
+	mb := NewMailbox(k, "mb")
+	k.SpawnDaemon("daemon", func(p *Proc) {
+		mb.Recv(p, func(any) bool { return true })
+	})
+	k.Spawn("app", func(p *Proc) { p.Hold(Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	k.Shutdown()
+	if after := settleGoroutines(t, before); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestShutdownIdempotent double-Shutdown must not hang or panic.
+func TestShutdownIdempotent(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("p", func(p *Proc) { p.Hold(Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	k.Shutdown()
+	k.Shutdown()
+}

@@ -1,6 +1,16 @@
 package sim
 
-import "math/rand"
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+)
+
+// ErrCanceled is returned by Run when the kernel was interrupted (see
+// Interrupt) before the event queue drained. Callers cancel a simulation by
+// arranging for Interrupt to fire — e.g. via context.AfterFunc — and then
+// matching this sentinel with errors.Is.
+var ErrCanceled = errors.New("sim: run interrupted")
 
 // event is a scheduled occurrence: the wakeup of a blocked process, a
 // kernel-context callback, or a pre-bound callback with one argument (the
@@ -105,6 +115,14 @@ type Kernel struct {
 	running bool
 	stopAt  Time // 0 = no horizon
 	events  uint64
+
+	// intr is set by Interrupt (any goroutine); step checks it between
+	// events, so whichever goroutine holds the baton parks promptly and
+	// Run returns ErrCanceled.
+	intr atomic.Bool
+	// dying is set by Shutdown; a resumed process observing it unwinds
+	// its goroutine instead of continuing the simulation.
+	dying bool
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
@@ -131,6 +149,15 @@ func (k *Kernel) Procs() []*Proc { return k.procs }
 // SetHorizon makes Run stop once virtual time would exceed t. Zero disables
 // the horizon.
 func (k *Kernel) SetHorizon(t Time) { k.stopAt = t }
+
+// Interrupt requests that Run stop between events and return ErrCanceled.
+// It is the only Kernel method safe to call from outside the simulation —
+// context plumbing hangs a context.AfterFunc on it. Interrupting does not
+// unwind process goroutines; call Shutdown (after Run returns) for that.
+func (k *Kernel) Interrupt() { k.intr.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (k *Kernel) Interrupted() bool { return k.intr.Load() }
 
 // At schedules fn to run in kernel context at virtual time t (or now, if t is
 // in the past). fn must not block: it may schedule events, put messages into
@@ -199,12 +226,18 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	}
 	go func() {
 		<-p.resume
-		p.blocked = false
-		p.state = "running"
-		fn(p)
+		if !k.dying {
+			runProcBody(p, fn)
+		}
 		p.done = true
 		if !p.daemon {
 			p.k.live--
+		}
+		if p.k.dying {
+			// Resumed by Shutdown (or unwound under it): hand the baton
+			// straight back to the shutting-down goroutine.
+			p.k.parked <- struct{}{}
+			return
 		}
 		// Pass the baton onward: the done flag keeps dispatch from ever
 		// selecting this process again, so dispatch either hands off to
@@ -216,6 +249,48 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	return p
 }
 
+// killed is the panic payload Shutdown uses to unwind a parked process
+// goroutine from inside its blocking primitive.
+type killed struct{}
+
+// runProcBody executes the process function, converting a Shutdown-induced
+// unwind into a normal return. Any other panic propagates.
+func runProcBody(p *Proc, fn func(*Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); !ok {
+				panic(r)
+			}
+		}
+	}()
+	p.blocked = false
+	p.state = "running"
+	fn(p)
+}
+
+// Shutdown unwinds every unfinished process goroutine. A simulation that
+// ends with blocked processes — daemons after a normal run, application
+// ranks after an interrupt, horizon, or deadlock — leaves their goroutines
+// parked forever otherwise, and a long-lived caller running many
+// simulations would accumulate them without bound. Each parked process is
+// resumed once with the dying flag set; it panics out of its blocking
+// primitive, the spawn wrapper recovers, and the goroutine exits. Shutdown
+// is idempotent, must not be called while Run is in flight, and leaves the
+// kernel unusable for further Runs.
+func (k *Kernel) Shutdown() {
+	if k.running {
+		panic("sim: Shutdown during Run")
+	}
+	k.dying = true
+	for _, p := range k.procs {
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-k.parked
+	}
+}
+
 // step pops and executes the next runnable event. Kernel-context callbacks
 // run inline; a valid process wakeup is returned as resume (with the wake
 // token already advanced) for the caller to transfer control to. processed
@@ -224,6 +299,9 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 // loop body, so every event kind is handled identically whichever
 // goroutine holds the baton.
 func (k *Kernel) step() (resume *Proc, processed bool) {
+	if k.intr.Load() {
+		return nil, false
+	}
 	if k.eq.Len() == 0 {
 		return nil, false
 	}
@@ -288,6 +366,9 @@ func (k *Kernel) Run() error {
 	for {
 		p, processed := k.step()
 		if !processed {
+			if k.intr.Load() {
+				return ErrCanceled
+			}
 			if k.eq.Len() > 0 {
 				return nil // horizon reached; events remain beyond it
 			}

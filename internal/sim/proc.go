@@ -58,6 +58,12 @@ func (p *Proc) block(state string) {
 	if !p.k.dispatch(p) {
 		<-p.resume
 	}
+	if p.k.dying {
+		// Resumed by Kernel.Shutdown: unwind this goroutine instead of
+		// continuing the (finished) simulation. Recovered in the spawn
+		// wrapper.
+		panic(killed{})
+	}
 	p.blocked = false
 	p.state = "running"
 }

@@ -1,6 +1,7 @@
 package simcheck
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ func FuzzScenario(f *testing.F) {
 			seed = 1 // mirror gbcheck's -seed 0 remap so the printed repro command is always faithful
 		}
 		spec := Generate(seed, GenConfig{MaxRanks: 32})
-		rep := Check(spec, CheckConfig{Workers: 2, SkipDeterminism: true})
+		rep := Check(context.Background(), spec, CheckConfig{Workers: 2, SkipDeterminism: true})
 		if !rep.Ok() {
 			t.Fatalf("seed %d (%s): %d violations:\n%s\nreproduce with: gbcheck -n 1 -seed %d -max-ranks 32 -v",
 				seed, spec.Name, len(rep.Violations), strings.Join(rep.Violations, "\n"), seed)

@@ -1,6 +1,7 @@
 package simcheck
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -86,7 +87,9 @@ func (r *Report) Ok() bool { return len(r.Violations) == 0 }
 //
 // A cell that fails to run (deadlock, horizon, engine error) is itself
 // reported as a violation: the oracle's verdict is always a Report.
-func Check(s *scenario.Spec, cfg CheckConfig) *Report {
+// Canceling ctx aborts the sweep; the cancellation shows up as a
+// liveness/run violation in the Report rather than a separate error path.
+func Check(ctx context.Context, s *scenario.Spec, cfg CheckConfig) *Report {
 	rep := &Report{Spec: s}
 	ins := scenario.Instrument{
 		Inspect:       true,
@@ -103,7 +106,7 @@ func Check(s *scenario.Spec, cfg CheckConfig) *Report {
 		mu.Unlock()
 		return nil
 	}
-	table, err := s.RunObserved(cfg.Workers, ins, obs)
+	table, err := s.RunObserved(ctx, cfg.Workers, ins, obs)
 	sort.Strings(rep.Violations) // observer order is worker-dependent
 	if err != nil {
 		rep.Violations = append(rep.Violations, fmt.Sprintf("liveness/run: %v", err))
@@ -111,7 +114,7 @@ func Check(s *scenario.Spec, cfg CheckConfig) *Report {
 	}
 
 	if !cfg.SkipDeterminism {
-		again, err := s.RunObserved(1, scenario.Instrument{HorizonS: cfg.horizonS()}, nil)
+		again, err := s.RunObserved(ctx, 1, scenario.Instrument{HorizonS: cfg.horizonS()}, nil)
 		if err != nil {
 			rep.Violations = append(rep.Violations, fmt.Sprintf("liveness/run (serial re-run): %v", err))
 			return rep

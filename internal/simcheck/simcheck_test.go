@@ -1,6 +1,7 @@
 package simcheck
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestOracleCleanSweep(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		spec := Generate(seed, GenConfig{MaxRanks: 32})
-		rep := Check(spec, CheckConfig{Workers: 2})
+		rep := Check(context.Background(), spec, CheckConfig{Workers: 2})
 		if !rep.Ok() {
 			t.Errorf("seed %d (%s): %d violations:\n%s",
 				seed, spec.Name, len(rep.Violations), strings.Join(rep.Violations, "\n"))
@@ -164,7 +165,7 @@ func TestCheckCellDetectsDoctoredResults(t *testing.T) {
 // horizon must come back as a liveness violation, not an infinite sim.
 func TestOracleLivenessHorizon(t *testing.T) {
 	spec := Generate(1, GenConfig{MaxRanks: 16})
-	rep := Check(spec, CheckConfig{Workers: 2, HorizonS: 1e-9, SkipDeterminism: true})
+	rep := Check(context.Background(), spec, CheckConfig{Workers: 2, HorizonS: 1e-9, SkipDeterminism: true})
 	if rep.Ok() {
 		t.Fatal("a 1ns horizon did not produce a liveness violation")
 	}

@@ -3,8 +3,9 @@
 
 GO ?= go
 SHORT_SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)
+COMMIT_WHEN := $(shell git show -s --format=%cI HEAD 2>/dev/null || echo "")
 
-.PHONY: build test race bench bench-json bench-diff fuzz-smoke smoke examples-smoke check-smoke lint ci
+.PHONY: build test race bench bench-json bench-diff bench-trend fuzz-smoke smoke examples-smoke check-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -22,26 +23,39 @@ bench:
 
 # Benchmark timings archived as JSON, one file per commit: every benchmark
 # at one iteration (end-to-end wall times, figure regenerations included)
-# except the sim kernel hot-path benchmarks, which run at a statistically
-# meaningful benchtime instead. CI uploads the file as a workflow artifact
-# on every push, recording the performance trajectory.
+# except the sim kernel and mpi send-path hot-path benchmarks, which run at
+# a statistically meaningful benchtime instead — the send path must show
+# its steady-state 0 allocs/op, not a warmup-amortized count. CI uploads
+# the file as a workflow artifact on every push, recording the performance
+# trajectory; the report carries the commit time so `bench-trend` can order
+# reports chronologically.
 bench-json:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
 	$(GO) test -bench=. -benchtime=1x -run='^$$' \
-		$$($(GO) list ./... | grep -v '/internal/sim$$') > $$tmp/full.txt; \
-	$(GO) test -bench=. -benchtime=0.5s -run='^$$' ./internal/sim > $$tmp/sim.txt; \
-	cat $$tmp/full.txt $$tmp/sim.txt \
-		| $(GO) run ./cmd/benchjson -commit $(SHORT_SHA) > BENCH_$(SHORT_SHA).json; \
+		$$($(GO) list ./... | grep -v -e '/internal/sim$$' -e '/internal/mpi$$') > $$tmp/full.txt; \
+	$(GO) test -bench=. -benchtime=0.5s -run='^$$' ./internal/sim ./internal/mpi > $$tmp/hot.txt; \
+	cat $$tmp/full.txt $$tmp/hot.txt \
+		| $(GO) run ./cmd/benchjson -commit $(SHORT_SHA) -when "$(COMMIT_WHEN)" > BENCH_$(SHORT_SHA).json; \
 	echo wrote BENCH_$(SHORT_SHA).json
 
-# Compare the fresh BENCH_<sha>.json against the committed baseline and
-# flag >20% wall-clock regressions on the scenario/kernel benchmarks. CI
-# runs this as a non-blocking trend check (shared-runner timings are noisy);
-# regenerate the baseline with `make bench-json && cp BENCH_<sha>.json
-# bench-baseline.json` after an intentional performance change.
+# Two-point check: compare the fresh BENCH_<sha>.json against the committed
+# baseline and flag >20% wall-clock regressions on the scenario/kernel
+# benchmarks. CI runs this as a non-blocking check (shared-runner timings
+# are noisy); regenerate the baseline with `make bench-json &&
+# cp BENCH_<sha>.json bench-baseline.json` after an intentional performance
+# change. For the multi-commit view, use `bench-trend` instead.
 bench-diff: bench-json
 	$(GO) run ./cmd/benchdiff -baseline bench-baseline.json \
 		-current BENCH_$(SHORT_SHA).json
+
+# Trajectory view: render every BENCH_*.json under TREND_DIR as a markdown
+# trend table — one column per commit, one row per tracked (benchmark,
+# metric) — and exit non-zero when ns/op, allocs/op, or GP_ckpt_s drifted
+# up >20% in the newest report. CI downloads recent push artifacts into a
+# directory and posts the table to the job summary; see EXPERIMENTS.md.
+TREND_DIR ?= .
+bench-trend:
+	$(GO) run ./cmd/benchdiff -trend $(TREND_DIR)
 
 # Short native-fuzzing smoke runs: the scenario spec parser (parser and
 # validator drift) and the simcheck end-to-end oracle (each fuzz input is a

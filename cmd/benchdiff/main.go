@@ -1,14 +1,29 @@
-// benchdiff compares a fresh benchmark report (cmd/benchjson output)
-// against a committed baseline and flags wall-clock regressions on the
-// benchmarks that guard the simulator's hot paths — the scenario-scale and
-// sim-kernel benchmarks. It prints one line per compared benchmark and
-// exits non-zero if any regression exceeds the threshold, so CI can run it
-// as a non-blocking trend check (`make bench-diff`).
+// benchdiff compares benchmark reports (cmd/benchjson output) in two
+// modes.
+//
+// Single-baseline mode compares one fresh report against a committed
+// baseline and flags wall-clock regressions on the benchmarks that guard
+// the simulator's hot paths — the scenario-scale and sim-kernel
+// benchmarks. It prints one line per compared benchmark and exits non-zero
+// if any regression exceeds the threshold (`make bench-diff`).
+//
+// Trajectory mode (-trend) ingests a whole directory of BENCH_*.json
+// artifacts — one per push, downloaded from CI — orders them by recorded
+// timestamp (then file mtime, then name), and renders a markdown trend
+// table: one row per (benchmark, metric), one column per commit. It tracks
+// ns/op, allocs/op, and any custom benchmark metrics named with -track
+// (e.g. GP_ckpt_s from BenchmarkFig06), and flags the latest report when a
+// tracked metric drifted up by more than -tolerance versus the previous
+// one. The -match filter applies to the ns/op and allocs/op rows only;
+// custom -track metrics are followed on every benchmark reporting them,
+// since naming one is already an opt-in. CI posts the table to the job summary (`make bench-trend`); see
+// EXPERIMENTS.md.
 //
 // Usage:
 //
 //	benchdiff -baseline bench-baseline.json -current BENCH_abc123.json
 //	benchdiff -baseline old.json -current new.json -threshold 0.5 -match '.*'
+//	benchdiff -trend artifacts/ -tolerance 0.25 -track GP_ckpt_s
 package main
 
 import (
@@ -31,6 +46,7 @@ type Benchmark struct {
 // Report mirrors cmd/benchjson's document.
 type Report struct {
 	Commit     string      `json:"commit,omitempty"`
+	When       string      `json:"when,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -41,18 +57,24 @@ const defaultMatch = `^Benchmark(Scenario|Kernel|EventHeap|SendPath)`
 func main() {
 	var (
 		baseline  = flag.String("baseline", "bench-baseline.json", "committed baseline report")
-		current   = flag.String("current", "", "fresh report to compare (required)")
+		current   = flag.String("current", "", "fresh report to compare (required unless -trend)")
 		threshold = flag.Float64("threshold", 0.20, "flag regressions above this fraction (0.20 = +20% ns/op)")
 		match     = flag.String("match", defaultMatch, "regexp selecting benchmark names to compare")
+		trend     = flag.String("trend", "", "trajectory mode: directory of BENCH_*.json reports to render as a markdown trend table")
+		tolerance = flag.Float64("tolerance", 0.20, "trend mode: flag a tracked metric drifting up by more than this fraction vs the previous report")
+		track     = flag.String("track", "GP_ckpt_s", "trend mode: comma-separated custom benchmark metrics to track besides ns/op and allocs/op")
 	)
 	flag.Parse()
-	if *current == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
-		os.Exit(2)
-	}
 	re, err := regexp.Compile(*match)
 	if err != nil {
 		fatal(err)
+	}
+	if *trend != "" {
+		os.Exit(runTrend(*trend, re, *tolerance, *track))
+	}
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required (or use -trend DIR)")
+		os.Exit(2)
 	}
 	base, err := load(*baseline)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Benchmark is one benchmark result line.
@@ -36,6 +37,7 @@ type Benchmark struct {
 // Report is the archived document.
 type Report struct {
 	Commit     string      `json:"commit,omitempty"`
+	When       string      `json:"when,omitempty"` // RFC3339; orders trend reports
 	GoVersion  string      `json:"goVersion"`
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
@@ -44,12 +46,17 @@ type Report struct {
 
 func main() {
 	commit := flag.String("commit", "", "commit short sha recorded in the report")
+	when := flag.String("when", "", "RFC3339 timestamp recorded in the report (default: the commit time CI passes; empty = now)")
 	flag.Parse()
 
 	report, err := parse(os.Stdin, *commit)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	report.When = *when
+	if report.When == "" {
+		report.When = time.Now().UTC().Format(time.RFC3339)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -56,6 +56,8 @@ func main() {
 		timelines = flag.Bool("timelines", false, "print Figure 2 ASCII trace diagrams")
 		tsv       = flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
 		plot      = flag.Bool("plot", false, "also render each table as an ASCII chart")
+		cellMet   = flag.Bool("cell-metrics", false,
+			"with -scenario: stream the sweep with a per-cell metrics snapshot and print each cell's metrics (see OBSERVABILITY.md)")
 	)
 	flag.Parse()
 	plotTables = *plot
@@ -84,11 +86,15 @@ func main() {
 				strings.Join(clash, " "))
 			os.Exit(2)
 		}
-		if err := runScenario(ctx, *scn, *parallel, *tsv); err != nil {
+		if err := runScenario(ctx, *scn, *parallel, *tsv, *cellMet); err != nil {
 			fmt.Fprintf(os.Stderr, "gbexp: scenario %s: %v\n", *scn, err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *cellMet {
+		fmt.Fprintln(os.Stderr, "gbexp: -cell-metrics requires -scenario (figure experiments report their own tables)")
+		os.Exit(2)
 	}
 
 	o := gb.ExperimentOptions{Quick: *quick, Reps: *reps, Workers: *parallel}
@@ -118,8 +124,9 @@ func printList() {
 }
 
 // runScenario resolves arg as a built-in profile name first, then as a spec
-// file path, and runs the sweep.
-func runScenario(ctx context.Context, arg string, workers int, tsv bool) error {
+// file path, and runs the sweep. With cellMetrics the sweep streams instead:
+// each cell carries a metrics snapshot, printed per cell in matrix order.
+func runScenario(ctx context.Context, arg string, workers int, tsv, cellMetrics bool) error {
 	s, ok := gb.BuiltinScenario(arg)
 	if !ok {
 		var err error
@@ -128,11 +135,52 @@ func runScenario(ctx context.Context, arg string, workers int, tsv bool) error {
 			return err
 		}
 	}
+	if cellMetrics {
+		return streamCellMetrics(ctx, s, workers)
+	}
 	t, err := gb.SweepTable(ctx, s, gb.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
 	emit(tsv, t)
+	return nil
+}
+
+// streamCellMetrics runs the sweep with per-cell metrics armed and prints
+// each cell's snapshot. Cells finish in any order, so they are collected
+// and printed in matrix order — the output is byte-identical at any worker
+// count, like every other gbexp mode.
+func streamCellMetrics(ctx context.Context, s *gb.Scenario, workers int) error {
+	var cells []gb.Cell
+	for c, err := range gb.Sweep(ctx, s, gb.WithWorkers(workers), gb.WithCellMetrics()) {
+		if err != nil {
+			return err
+		}
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Scale != b.Scale {
+			return a.Scale < b.Scale
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		return a.Rep < b.Rep
+	})
+	for _, c := range cells {
+		fmt.Printf("# cell procs=%d mode=%s rep=%d seed=%d\n", c.Scale, c.Mode, c.Rep, c.Seed)
+		m := c.Result.Metrics
+		for _, cv := range m.Counters {
+			fmt.Printf("%s %d\n", cv.Name, cv.Value)
+		}
+		for _, gv := range m.Gauges {
+			fmt.Printf("%s %g\n", gv.Name, gv.Value)
+		}
+		for _, hv := range m.Histograms {
+			fmt.Printf("%s count=%d p50=%g p99=%g max=%g\n", hv.Name, hv.Count, hv.P50, hv.P99, hv.Max)
+		}
+	}
 	return nil
 }
 

@@ -24,6 +24,17 @@
 // classic needs, and any value implementing Observer composes with them —
 // see examples/cgfailure for a user-defined one.
 //
+// # Observability
+//
+// NewMetricsObserver stacks like any other observer and fills
+// Result.Metrics with an immutable snapshot of online counters, gauges,
+// and latency histograms (quantiles from a fixed-size reservoir); for
+// sweeps, WithCellMetrics arms a fresh observer per cell. Observation
+// never perturbs the simulation — a metered run is bit-identical to a
+// bare one — and the instrumented hot paths stay allocation-free. Metric
+// names, the hook architecture, and the Prometheus exposition format are
+// documented in OBSERVABILITY.md at the repository root.
+//
 // # Cancellation and errors
 //
 // Every run honors its context: cancellation parks the simulation kernel

@@ -10,6 +10,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/group"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -63,6 +64,18 @@ type (
 
 	// RestartOutcome reports a simulated whole-application restart.
 	RestartOutcome = core.RestartOutcome
+
+	// MetricsSnapshot is an immutable copy of a run's online metrics
+	// (Result.Metrics, published by a MetricsObserver): counters, gauges,
+	// and reservoir-sampled histograms, sorted by name, with a
+	// WritePrometheus text-exposition method. See OBSERVABILITY.md for
+	// the metric reference table.
+	MetricsSnapshot = metrics.Snapshot
+
+	// MetricValue kinds inside a MetricsSnapshot.
+	CounterValue   = metrics.CounterValue
+	GaugeValue     = metrics.GaugeValue
+	HistogramValue = metrics.HistogramValue
 
 	// Time is virtual time in nanoseconds.
 	Time = sim.Time
@@ -225,6 +238,18 @@ func NewCommObserver() *harness.CommObserver { return harness.NewCommObserver() 
 // NewInspectObserver attaches the invariant-oracle introspection
 // (Result.MsgStats, Result.Flows, Result.Queued*, Result.Cuts).
 func NewInspectObserver() *harness.InspectObserver { return harness.NewInspectObserver() }
+
+// NewMetricsObserver attaches the online metrics layer to a run: kernel,
+// message-path, checkpoint, and failure instruments feed one live
+// collector, and the final immutable snapshot is published as
+// Result.Metrics. Stacks with the other observers; per-run object like
+// them. Hot paths pay only nil-checked atomic increments — the pooled
+// send path stays allocation-free (see OBSERVABILITY.md).
+func NewMetricsObserver() *harness.MetricsObserver { return harness.NewMetricsObserver() }
+
+// MetricsObserver is the observer NewMetricsObserver builds, exported so
+// callers can hold one and read its live Collector during a run.
+type MetricsObserver = harness.MetricsObserver
 
 // errBadSpec builds an option/spec rejection.
 func errBadSpec(format string, args ...any) error {

@@ -26,10 +26,11 @@ type config struct {
 	spec  harness.Spec // Run: the spec under construction
 
 	// Sweep knobs.
-	workers  int
-	seed     int64 // overrides the scenario seed when set
-	seedSet  bool
-	horizonS float64
+	workers     int
+	seed        int64 // overrides the scenario seed when set
+	seedSet     bool
+	horizonS    float64
+	cellMetrics bool
 }
 
 func newConfig(s scope) *config {
@@ -160,6 +161,20 @@ func WithObserver(obs ...Observer) Option {
 	return runOnly("WithObserver", func(c *config) {
 		c.spec.Observers = append(c.spec.Observers, obs...)
 	})
+}
+
+// WithCellMetrics attaches a fresh MetricsObserver to every sweep cell, so
+// each yielded Cell.Result carries a per-cell metrics snapshot
+// (Result.Metrics). On a single run, stack the observer yourself:
+// WithObserver(NewMetricsObserver()).
+func WithCellMetrics() Option {
+	return func(c *config) error {
+		if c.scope != scopeSweep {
+			return errBadSpec("WithCellMetrics applies to Sweep, not Run (use WithObserver(NewMetricsObserver()))")
+		}
+		c.cellMetrics = true
+		return nil
+	}
 }
 
 // WithWorkers bounds how many sweep cells execute concurrently (default:

@@ -76,6 +76,48 @@ func TestSweepMatchesTable(t *testing.T) {
 	}
 }
 
+// TestSweepCellMetrics: WithCellMetrics gives every yielded cell its own
+// metrics snapshot, without changing the aggregate table, and is rejected
+// on a single Run.
+func TestSweepCellMetrics(t *testing.T) {
+	sc := fastScenario(t)
+	plain, err := gb.SweepTable(context.Background(), sc, gb.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for cell, err := range gb.Sweep(context.Background(), sc, gb.WithWorkers(2), gb.WithCellMetrics()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		m := cell.Result.Metrics
+		if m == nil {
+			t.Fatalf("cell %+v has no metrics snapshot", cell.Cell)
+		}
+		if sends, ok := m.Counter("mpi_sends_total"); !ok || sends == 0 {
+			t.Fatalf("cell %+v: mpi_sends_total = %d, %v", cell.Cell, sends, ok)
+		}
+		if ckpts, _ := m.Counter("ckpt_completed_total"); ckpts == 0 {
+			t.Fatalf("cell %+v checkpointed but ckpt_completed_total is 0", cell.Cell)
+		}
+	}
+	if want := len(sc.Cells()); n != want {
+		t.Fatalf("streamed %d cells, want %d", n, want)
+	}
+	metered, err := gb.SweepTable(context.Background(), sc, gb.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != metered.String() {
+		t.Fatal("metrics-armed sweep changed the aggregate table")
+	}
+
+	if _, err := gb.Run(context.Background(), gb.Synthetic(2, 5), gb.WithCellMetrics()); !errors.Is(err, gb.ErrBadSpec) {
+		t.Fatalf("WithCellMetrics on Run: got %v, want ErrBadSpec", err)
+	}
+}
+
 // TestSweepSeedOverride: WithSeed must change cell seeds without touching
 // the caller's spec.
 func TestSweepSeedOverride(t *testing.T) {

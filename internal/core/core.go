@@ -96,6 +96,13 @@ type Config struct {
 	// bytes at its cut must equal the peer's sent bytes at the peer's cut
 	// (no orphan messages, no in-transit residue inside a group).
 	OnCut func(Cut)
+	// OnRecord, when non-nil, receives each rank's completed checkpoint
+	// record the moment the rank finishes its group checkpoint (gates
+	// reopened, record appended). It runs in the checkpointing daemon's
+	// context and must not block. The harness's metrics observer uses it
+	// to stream checkpoint durations and image bytes into a collector
+	// while the run executes.
+	OnRecord func(ckpt.Record)
 }
 
 // Cut is one rank's frozen channel state at a checkpoint cut, reported via
@@ -398,7 +405,7 @@ func (e *Engine) checkpoint(st *rankState, p *sim.Proc, epoch, replyTo int) {
 			panic(fmt.Sprintf("core: archiving image for rank %d: %v", r.ID, err))
 		}
 	}
-	e.records = append(e.records, ckpt.Record{
+	rec := ckpt.Record{
 		Rank: r.ID, Epoch: epoch, Start: start, End: end,
 		Stages: ckpt.Breakdown{
 			ckpt.StageLock:     tLock - start,
@@ -408,7 +415,11 @@ func (e *Engine) checkpoint(st *rankState, p *sim.Proc, epoch, replyTo int) {
 		},
 		ImageBytes: snap.ImageBytes,
 		LogFlushed: flushed,
-	})
+	}
+	e.records = append(e.records, rec)
+	if e.cfg.OnRecord != nil {
+		e.cfg.OnRecord(rec)
+	}
 	r.CtrlSend(p, replyTo, tagCkptDoneBase+epoch, doneBytes, epoch)
 }
 

@@ -40,6 +40,12 @@ type Injector struct {
 	max  int
 
 	outcomes []Outcome
+
+	// OnOutcome, when non-nil, receives each failure's evaluated outcome
+	// the moment it is recorded. It runs in kernel context and must not
+	// block or perturb the simulation (the injector itself is purely
+	// observational). Set before Arm.
+	OnOutcome func(Outcome)
 }
 
 // NewInjector builds an injector for the world. The formation must be the
@@ -72,7 +78,11 @@ func (inj *Injector) fire() {
 		return // application over (or cap hit): the renewal chain ends
 	}
 	node := inj.rng.Intn(inj.w.N)
-	inj.outcomes = append(inj.outcomes, inj.evaluate(node))
+	out := inj.evaluate(node)
+	inj.outcomes = append(inj.outcomes, out)
+	if inj.OnOutcome != nil {
+		inj.OnOutcome(out)
+	}
 	inj.w.K.After(inj.proc.NextGap(inj.rng), inj.fire)
 }
 

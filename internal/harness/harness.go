@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/group"
+	"repro/internal/metrics"
 	"repro/internal/mlog"
 	"repro/internal/mpi"
 	"repro/internal/runner"
@@ -126,6 +127,10 @@ type Result struct {
 	QueuedApp  int
 	QueuedCtrl int
 	Cuts       []core.Cut
+
+	// Metrics is the run's final metrics snapshot, populated by a
+	// MetricsObserver (nil otherwise).
+	Metrics *metrics.Snapshot
 }
 
 func zeroIsGideon(c cluster.Config) cluster.Config {
@@ -302,6 +307,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		cfg := core.DefaultConfig(f, wl.ImageBytes)
 		cfg.Store = store
 		cfg.OnCut = env.cutHook()
+		cfg.OnRecord = env.recordHook()
 		e := core.NewEngine(w, cfg)
 		schedule(e.ScheduleAt, e.SchedulePeriodic)
 		var inj *failure.Injector
@@ -311,6 +317,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 				seed = spec.Seed ^ 0x5DEECE66D // decorrelate from the kernel stream
 			}
 			inj = failure.NewInjector(w, f, e, spec.FailureProc, seed, spec.MaxFailures)
+			inj.OnOutcome = env.failureHook()
 			inj.Arm()
 		}
 		w.Launch(wl.Body)

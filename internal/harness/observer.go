@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/mpi"
 	"repro/internal/trace"
 )
@@ -28,13 +30,26 @@ type RunEnv struct {
 	// World is the simulated MPI world, fully built but not yet launched.
 	World *mpi.World
 
-	onCut []func(core.Cut)
+	onCut     []func(core.Cut)
+	onRecord  []func(ckpt.Record)
+	onFailure []func(failure.Outcome)
 }
 
 // OnCut registers fn to receive each rank's cut record the moment its
 // checkpoint cut is fixed. Group-based modes only; under VCL the engine
 // keeps no per-rank cut state and registrations are ignored.
 func (e *RunEnv) OnCut(fn func(core.Cut)) { e.onCut = append(e.onCut, fn) }
+
+// OnRecord registers fn to receive each rank's completed checkpoint record
+// the moment its group checkpoint finishes. Group-based modes only; under
+// VCL the engine exposes records only after the run and registrations are
+// ignored.
+func (e *RunEnv) OnRecord(fn func(ckpt.Record)) { e.onRecord = append(e.onRecord, fn) }
+
+// OnFailure registers fn to receive each injected failure's evaluated
+// outcome the moment it is recorded. Called only when the spec arms a
+// FailureProc.
+func (e *RunEnv) OnFailure(fn func(failure.Outcome)) { e.onFailure = append(e.onFailure, fn) }
 
 // cutHook folds the registered cut callbacks into the single core.Config
 // hook (nil when nothing registered, so the engine skips the work).
@@ -49,6 +64,40 @@ func (e *RunEnv) cutHook() func(core.Cut) {
 	return func(c core.Cut) {
 		for _, fn := range hooks {
 			fn(c)
+		}
+	}
+}
+
+// recordHook folds the registered record callbacks into the single
+// core.Config hook (nil when nothing registered).
+func (e *RunEnv) recordHook() func(ckpt.Record) {
+	switch len(e.onRecord) {
+	case 0:
+		return nil
+	case 1:
+		return e.onRecord[0]
+	}
+	hooks := e.onRecord
+	return func(r ckpt.Record) {
+		for _, fn := range hooks {
+			fn(r)
+		}
+	}
+}
+
+// failureHook folds the registered failure callbacks into the injector's
+// single hook (nil when nothing registered).
+func (e *RunEnv) failureHook() func(failure.Outcome) {
+	switch len(e.onFailure) {
+	case 0:
+		return nil
+	case 1:
+		return e.onFailure[0]
+	}
+	hooks := e.onFailure
+	return func(o failure.Outcome) {
+		for _, fn := range hooks {
+			fn(o)
 		}
 	}
 }

@@ -1,0 +1,365 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero gauge = %v, want 0", got)
+	}
+	g.Set(2.5)
+	g.Add(0.5)
+	if got := g.Value(); got != 3.0 {
+		t.Fatalf("Value = %v, want 3.0", got)
+	}
+}
+
+// TestConcurrentWriters hammers every instrument kind from many goroutines
+// under -race. Counters and gauge-adds must be exact; the histogram's
+// count/sum must be exact and its reservoir must hold only values that were
+// actually observed.
+func TestConcurrentWriters(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 10_000
+	)
+	c := New()
+	ctr := c.Counter("w_total", "", "")
+	g := c.Gauge("w_seconds", "s", "")
+	h := c.Histogram("w_latency", "s", "")
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				ctr.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := c.Snapshot()
+	if v, _ := s.Counter("w_total"); v != writers*perW {
+		t.Errorf("counter = %d, want %d", v, writers*perW)
+	}
+	if v, _ := s.Gauge("w_seconds"); v != writers*perW {
+		t.Errorf("gauge = %v, want %d", v, writers*perW)
+	}
+	hv, _ := s.Histogram("w_latency")
+	if hv.Count != writers*perW {
+		t.Errorf("histogram count = %d, want %d", hv.Count, writers*perW)
+	}
+	if hv.Min != 0 || hv.Max != 99 {
+		t.Errorf("min/max = %v/%v, want 0/99", hv.Min, hv.Max)
+	}
+	if hv.P50 < 0 || hv.P50 > 99 {
+		t.Errorf("p50 = %v outside observed range [0, 99]", hv.P50)
+	}
+}
+
+// TestReservoirExactSmall: while count ≤ reservoir size, quantiles must
+// match a sorted reference exactly — no sampling has happened yet.
+func TestReservoirExactSmall(t *testing.T) {
+	h := NewHistogram(512)
+	rng := rand.New(rand.NewSource(7))
+	var ref []float64
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 1000
+		h.Observe(v)
+		ref = append(ref, v)
+	}
+	sort.Float64s(ref)
+	hv := h.snapshotValue("x", "", "")
+	for _, q := range []struct {
+		p    float64
+		got  float64
+		name string
+	}{{0.50, hv.P50, "p50"}, {0.90, hv.P90, "p90"}, {0.99, hv.P99, "p99"}} {
+		want := quantile(ref, q.p)
+		if q.got != want {
+			t.Errorf("%s = %v, want exact %v", q.name, q.got, want)
+		}
+	}
+	if hv.Min != ref[0] || hv.Max != ref[len(ref)-1] {
+		t.Errorf("min/max = %v/%v, want %v/%v", hv.Min, hv.Max, ref[0], ref[len(ref)-1])
+	}
+}
+
+// TestReservoirAccuracyLarge: with 100k observations through a 512-slot
+// reservoir, estimated quantiles must land near the sorted reference —
+// within 5 percentile ranks for a uniform stream.
+func TestReservoirAccuracyLarge(t *testing.T) {
+	const n = 100_000
+	h := NewHistogram(512)
+	rng := rand.New(rand.NewSource(11))
+	ref := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64() * 1000
+		h.Observe(v)
+		ref = append(ref, v)
+	}
+	sort.Float64s(ref)
+	hv := h.snapshotValue("x", "", "")
+	// Uniform[0,1000): value v sits at percentile ~v/1000. Allow ±5 ranks.
+	for _, q := range []struct {
+		p    float64
+		got  float64
+		name string
+	}{{0.50, hv.P50, "p50"}, {0.90, hv.P90, "p90"}, {0.99, hv.P99, "p99"}} {
+		want := quantile(ref, q.p)
+		if math.Abs(q.got-want) > 50 { // 5% of the 1000-wide range
+			t.Errorf("%s = %v, reference %v (off by more than 5 ranks)", q.name, q.got, want)
+		}
+	}
+	if hv.Count != n {
+		t.Errorf("count = %d, want %d", hv.Count, n)
+	}
+	wantSum := 0.0
+	for _, v := range ref {
+		wantSum += v
+	}
+	if math.Abs(hv.Sum-wantSum) > 1e-3 {
+		t.Errorf("sum = %v, want %v", hv.Sum, wantSum)
+	}
+}
+
+// TestSnapshotImmutable: a snapshot taken before further updates must not
+// change when the collector moves on, and two snapshots must not share
+// state.
+func TestSnapshotImmutable(t *testing.T) {
+	c := New()
+	ctr := c.Counter("events_total", "", "")
+	h := c.Histogram("lat", "s", "")
+	ctr.Add(10)
+	h.Observe(1)
+	h.Observe(3)
+
+	s1 := c.Snapshot()
+	ctr.Add(100)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s2 := c.Snapshot()
+
+	if v, _ := s1.Counter("events_total"); v != 10 {
+		t.Errorf("s1 counter = %d, want 10 (mutated after snapshot)", v)
+	}
+	if v, _ := s2.Counter("events_total"); v != 110 {
+		t.Errorf("s2 counter = %d, want 110", v)
+	}
+	h1, _ := s1.Histogram("lat")
+	if h1.Count != 2 || h1.Max != 3 {
+		t.Errorf("s1 histogram = %+v, want count=2 max=3", h1)
+	}
+	h2, _ := s2.Histogram("lat")
+	if h2.Count != 1002 {
+		t.Errorf("s2 histogram count = %d, want 1002", h2.Count)
+	}
+}
+
+func TestSnapshotSortedAndLookup(t *testing.T) {
+	c := New()
+	c.Counter("zeta_total", "", "")
+	c.Counter("alpha_total", "", "")
+	c.Gauge("mid_gauge", "", "")
+	s := c.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "alpha_total" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if _, ok := s.Counter("nope"); ok {
+		t.Error("lookup of absent counter succeeded")
+	}
+	if _, ok := s.Gauge("mid_gauge"); !ok {
+		t.Error("lookup of present gauge failed")
+	}
+}
+
+func TestRegisterIdempotentAndKindClash(t *testing.T) {
+	c := New()
+	a := c.Counter("x_total", "", "")
+	b := c.Counter("x_total", "", "")
+	if a != b {
+		t.Error("re-registering a counter returned a different instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as a gauge did not panic")
+		}
+	}()
+	c.Gauge("x_total", "", "")
+}
+
+// TestWritePrometheus is the table-driven exposition-format test: each case
+// builds a collector, snapshots it, and compares the rendered text exactly.
+func TestWritePrometheus(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Collector
+		want  string
+	}{
+		{
+			name:  "empty",
+			build: New,
+			want:  "",
+		},
+		{
+			name: "counter with help and unit",
+			build: func() *Collector {
+				c := New()
+				c.Counter("sim_events_total", "events", "events processed").Add(42)
+				return c
+			},
+			want: "# HELP sim_events_total events processed (events)\n" +
+				"# TYPE sim_events_total counter\n" +
+				"sim_events_total 42\n",
+		},
+		{
+			name: "counter without help omits HELP line",
+			build: func() *Collector {
+				c := New()
+				c.Counter("bare_total", "", "").Inc()
+				return c
+			},
+			want: "# TYPE bare_total counter\n" +
+				"bare_total 1\n",
+		},
+		{
+			name: "gauge",
+			build: func() *Collector {
+				c := New()
+				c.Gauge("lost_seconds", "s", "work lost").Set(1.5)
+				return c
+			},
+			want: "# HELP lost_seconds work lost (s)\n" +
+				"# TYPE lost_seconds gauge\n" +
+				"lost_seconds 1.5\n",
+		},
+		{
+			name: "histogram as summary",
+			build: func() *Collector {
+				c := New()
+				h := c.Histogram("lat_seconds", "s", "latency")
+				h.Observe(1)
+				h.Observe(2)
+				h.Observe(3)
+				return c
+			},
+			want: "# HELP lat_seconds latency (s)\n" +
+				"# TYPE lat_seconds summary\n" +
+				"lat_seconds{quantile=\"0.5\"} 2\n" +
+				"lat_seconds{quantile=\"0.9\"} 2.8\n" +
+				"lat_seconds{quantile=\"0.99\"} 2.98\n" +
+				"lat_seconds_sum 6\n" +
+				"lat_seconds_count 3\n",
+		},
+		{
+			name: "kinds ordered counter, gauge, summary; names sorted",
+			build: func() *Collector {
+				c := New()
+				c.Histogram("h", "", "")
+				c.Gauge("g", "", "")
+				c.Counter("b_total", "", "")
+				c.Counter("a_total", "", "")
+				return c
+			},
+			want: "# TYPE a_total counter\n" +
+				"a_total 0\n" +
+				"# TYPE b_total counter\n" +
+				"b_total 0\n" +
+				"# TYPE g gauge\n" +
+				"g 0\n" +
+				"# TYPE h summary\n" +
+				"h{quantile=\"0.5\"} 0\n" +
+				"h{quantile=\"0.9\"} 0\n" +
+				"h{quantile=\"0.99\"} 0\n" +
+				"h_sum 0\n" +
+				"h_count 0\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := tc.build().Snapshot().WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if got := sb.String(); got != tc.want {
+				t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("quantile(nil) = %v, want 0", q)
+	}
+	if q := quantile([]float64{7}, 0.99); q != 7 {
+		t.Errorf("quantile(single) = %v, want 7", q)
+	}
+	if q := quantile([]float64{1, 2}, 1.0); q != 2 {
+		t.Errorf("quantile(q=1) = %v, want 2", q)
+	}
+}
+
+// TestHistogramDeterministic: single-threaded observation is fully
+// deterministic — two identically fed histograms produce identical
+// snapshots, reservoir sampling included.
+func TestHistogramDeterministic(t *testing.T) {
+	feed := func() HistogramValue {
+		h := NewHistogram(64)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 10_000; i++ {
+			h.Observe(rng.Float64())
+		}
+		return h.snapshotValue("x", "", "")
+	}
+	a, b := feed(), feed()
+	if a != b {
+		t.Errorf("identical feeds diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestInstrumentUpdateAllocs: the hot-path update operations must not
+// allocate — this is the collector half of the zero-alloc contract
+// (the armed send-path cost is quantified by BenchmarkSendPathMetrics).
+func TestInstrumentUpdateAllocs(t *testing.T) {
+	c := New()
+	ctr := c.Counter("c_total", "", "")
+	g := c.Gauge("g", "", "")
+	h := c.Histogram("h", "", "")
+	if n := testing.AllocsPerRun(1000, func() {
+		ctr.Inc()
+		g.Add(1)
+		h.Observe(1)
+	}); n != 0 {
+		t.Errorf("hot-path update allocates %v per op, want 0", n)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefaultReservoir)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}

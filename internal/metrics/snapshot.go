@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CounterValue is one counter's state in a Snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Unit  string `json:"unit,omitempty"`
+	Help  string `json:"-"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge's state in a Snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Help  string  `json:"-"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram's state in a Snapshot: exact count, sum,
+// min, max, and quantiles estimated from the reservoir sample.
+type HistogramValue struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Help  string  `json:"-"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is an immutable copy of a Collector's state at one instant.
+// Instruments are sorted by name within each kind. Snapshots share no
+// memory with the collector or with each other: retaining one while the
+// run continues, or diffing two, is safe.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot returns an immutable copy of the collector's current state.
+func (c *Collector) Snapshot() *Snapshot {
+	c.mu.Lock()
+	entries := make([]*entry, len(c.entries))
+	copy(entries, c.entries)
+	c.mu.Unlock()
+
+	s := &Snapshot{}
+	for _, e := range entries {
+		switch e.kind {
+		case KindCounter:
+			s.Counters = append(s.Counters, CounterValue{
+				Name: e.name, Unit: e.unit, Help: e.help, Value: e.c.Value()})
+		case KindGauge:
+			s.Gauges = append(s.Gauges, GaugeValue{
+				Name: e.name, Unit: e.unit, Help: e.help, Value: e.g.Value()})
+		case KindHistogram:
+			s.Histograms = append(s.Histograms, e.h.snapshotValue(e.name, e.unit, e.help))
+		}
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+func (h *Histogram) snapshotValue(name, unit, help string) HistogramValue {
+	v := HistogramValue{Name: name, Unit: unit, Help: help, Count: h.Count()}
+	if v.Count == 0 {
+		return v
+	}
+	v.Sum = math.Float64frombits(h.sum.Load())
+	v.Min = math.Float64frombits(h.min.Load())
+	v.Max = math.Float64frombits(h.max.Load())
+	sample := h.sample()
+	v.P50 = quantile(sample, 0.50)
+	v.P90 = quantile(sample, 0.90)
+	v.P99 = quantile(sample, 0.99)
+	return v
+}
+
+// quantile estimates quantile q from a sorted sample by linear
+// interpolation between the two nearest ranks.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Counter returns the named counter's value (0, false if absent).
+func (s *Snapshot) Counter(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge's value (0, false if absent).
+func (s *Snapshot) Gauge(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram's value (zero, false if absent).
+func (s *Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format: counters and gauges as their native types, histograms as
+// summaries (quantile series plus _sum and _count). Output order is
+// deterministic: counters, gauges, histograms, each sorted by name. This
+// is the serialization a future gbd daemon will serve from /metrics.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		if err := writeHeader(w, c.Name, c.Help, c.Unit, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := writeHeader(w, g.Name, g.Help, g.Unit, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", g.Name, formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := writeHeader(w, h.Name, h.Help, h.Unit, "summary"); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", h.Name, q.label, formatFloat(q.v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, unit, typ string) error {
+	if help != "" {
+		if unit != "" {
+			help += " (" + unit + ")"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, with special values spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}

@@ -104,7 +104,8 @@ type World struct {
 	// built once so the per-message schedule allocates nothing.
 	arrive func(any)
 
-	stats Stats
+	stats   Stats
+	metrics *Metrics // nil unless observing; see SetMetrics
 }
 
 // Stats is the world's message-path accounting, maintained unconditionally

@@ -24,6 +24,10 @@ func (r *Rank) Send(dst, tag int, bytes int64, payload any) {
 	}
 	r.addSent(dst, bytes)
 	r.W.stats.Sends++
+	if mm := r.W.metrics; mm != nil {
+		mm.Sends.Inc()
+		mm.SendBytes.Add(bytes)
+	}
 	r.deliver(p, m)
 }
 
@@ -51,6 +55,10 @@ func (w *World) deliverArrived(m *Msg) {
 		if tr := w.Tracer; tr != nil {
 			tr.Deliver(m.ArriveTime, m.Src, m.Dst, m.Tag, m.Bytes)
 		}
+		if mm := w.metrics; mm != nil {
+			mm.Delivered.Inc()
+			mm.MsgLatency.Observe((m.ArriveTime - m.SendTime).Seconds())
+		}
 	}
 	d.mailboxFor(m).PutKeyed(m, m.Src, m.Tag)
 }
@@ -75,6 +83,9 @@ func (r *Rank) Recv(src, tag int) *Msg {
 	r.Gate.Pass(r.Proc)
 	r.addAppRecvd(m.Src, m.Bytes)
 	r.W.stats.Consumed++
+	if mm := r.W.metrics; mm != nil {
+		mm.Consumed.Inc()
+	}
 	return m
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -34,5 +35,42 @@ func BenchmarkSendPath(b *testing.B) {
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkSendPathMetrics is BenchmarkSendPath with online metrics armed
+// on both the world and the kernel — the same ring, plus per-message atomic
+// counter increments and a reservoir observation. The delta against
+// BenchmarkSendPath is the whole cost of observation; allocs/op must stay
+// 0 (the instruments are pre-registered, the hot path only dereferences
+// them). See OBSERVABILITY.md.
+func BenchmarkSendPathMetrics(b *testing.B) {
+	const ranks = 64
+	k := sim.NewKernel(1)
+	cfg := cluster.Gideon()
+	cfg.JitterFrac = 0
+	cfg.DaemonEvery = 0
+	c := cluster.New(k, ranks, cfg)
+	w := NewWorld(k, c, ranks)
+	col := metrics.New()
+	w.SetMetrics(NewMetrics(col))
+	k.SetMetrics(sim.NewMetrics(col))
+	iters := b.N/ranks + 1
+	w.Launch(func(r *Rank) {
+		next := (r.ID + 1) % ranks
+		prev := (r.ID - 1 + ranks) % ranks
+		for i := 0; i < iters; i++ {
+			r.Sendrecv(next, 1, 4096, prev, 1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	s := col.Snapshot()
+	if v, _ := s.Counter("mpi_sends_total"); v == 0 {
+		b.Fatal("metrics armed but mpi_sends_total is 0")
 	}
 }

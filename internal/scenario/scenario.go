@@ -37,6 +37,9 @@ type Instrument struct {
 	// a cell that has not finished by then fails instead of simulating
 	// forever (the oracle's liveness backstop).
 	HorizonS float64
+	// Metrics attaches a fresh MetricsObserver to every cell, so each
+	// Result carries a per-cell online-metrics snapshot.
+	Metrics bool
 }
 
 // Cell identifies one run of the sweep: the matrix key (scale, mode, rep)
@@ -80,6 +83,9 @@ func (ins Instrument) observers(scale int) []harness.Observer {
 	}
 	if ins.Inspect {
 		obs = append(obs, harness.NewInspectObserver())
+	}
+	if ins.Metrics {
+		obs = append(obs, harness.NewMetricsObserver())
 	}
 	return obs
 }

@@ -115,6 +115,7 @@ type Kernel struct {
 	running bool
 	stopAt  Time // 0 = no horizon
 	events  uint64
+	metrics *Metrics // nil unless observing; see SetMetrics
 
 	// intr is set by Interrupt (any goroutine); step checks it between
 	// events, so whichever goroutine holds the baton parks promptly and
@@ -314,6 +315,10 @@ func (k *Kernel) step() (resume *Proc, processed bool) {
 	}
 	k.now = ev.at
 	k.events++
+	if m := k.metrics; m != nil {
+		m.Events.Inc()
+		m.QueueDepth.Observe(float64(k.eq.Len()))
+	}
 	switch {
 	case ev.p != nil:
 		p := ev.p

@@ -5,7 +5,7 @@ GO ?= go
 SHORT_SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)
 COMMIT_WHEN := $(shell git show -s --format=%cI HEAD 2>/dev/null || echo "")
 
-.PHONY: build test race bench bench-json bench-diff bench-trend fuzz-smoke smoke examples-smoke check-smoke lint ci
+.PHONY: build test race bench bench-json bench-diff bench-trend fuzz-smoke smoke examples-smoke check-smoke gbd-smoke gbd-smoke-race lint ci
 
 build:
 	$(GO) build ./...
@@ -92,6 +92,17 @@ examples-smoke:
 	$(GO) run ./examples/cgfailure > /dev/null
 	@echo examples ok
 
+# gbd daemon end-to-end smoke: start the service on a free port, stream the
+# shipped scenario over SSE, diff the cells against their golden, prove
+# cached responses are byte-identical, and drain cleanly on SIGTERM (see
+# scripts/gbd_smoke.sh). The race variant rebuilds the daemon with the race
+# detector and repeats the whole exercise.
+gbd-smoke:
+	sh scripts/gbd_smoke.sh
+
+gbd-smoke-race:
+	sh scripts/gbd_smoke.sh -race
+
 # staticcheck is a blocking lint step: CI installs it and fails the build on
 # findings. A bare local toolchain can opt out with STATICCHECK=off.
 lint:
@@ -109,4 +120,4 @@ lint:
 		exit 1; \
 	fi
 
-ci: lint build race bench smoke examples-smoke check-smoke fuzz-smoke
+ci: lint build race bench smoke examples-smoke check-smoke fuzz-smoke gbd-smoke

@@ -1,0 +1,122 @@
+package gb
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func cellScenario() *Scenario {
+	return &Scenario{
+		Name:     "cells-test",
+		Workload: ScenarioWorkload{Kind: "synthetic", Iters: 6},
+		Scales:   []int{8},
+		Modes:    []string{"GP1", "NORM"},
+		Checkpoint: ScenarioCheckpoint{
+			IntervalS: 2,
+		},
+		Reps: 2,
+		Seed: 5,
+	}
+}
+
+// TestScenarioCellsMatchSweep proves RunCell over ScenarioCells reproduces
+// exactly what Sweep produces for the same scenario, cell by cell.
+func TestScenarioCellsMatchSweep(t *testing.T) {
+	ctx := context.Background()
+	sc := cellScenario()
+	cells, err := ScenarioCells(sc)
+	if err != nil {
+		t.Fatalf("ScenarioCells: %v", err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("want 4 cells, got %d", len(cells))
+	}
+
+	bySweep := map[CellKey]*Result{}
+	for cell, err := range Sweep(ctx, sc) {
+		if err != nil {
+			t.Fatalf("Sweep: %v", err)
+		}
+		bySweep[cell.Cell] = cell.Result
+	}
+	for _, c := range cells {
+		sweepRes, ok := bySweep[c]
+		if !ok {
+			t.Fatalf("sweep never yielded cell %+v", c)
+		}
+		res, err := RunCell(ctx, sc, c)
+		if err != nil {
+			t.Fatalf("RunCell(%+v): %v", c, err)
+		}
+		if res.ExecTime != sweepRes.ExecTime || res.Epochs != sweepRes.Epochs ||
+			res.Events != sweepRes.Events || res.Name != sweepRes.Name {
+			t.Errorf("cell %+v diverged: RunCell (%v, %d, %d, %s) vs Sweep (%v, %d, %d, %s)",
+				c, res.ExecTime, res.Epochs, res.Events, res.Name,
+				sweepRes.ExecTime, sweepRes.Epochs, sweepRes.Events, sweepRes.Name)
+		}
+	}
+}
+
+// TestRunCellRejections pins the cell-scope option rules and the
+// key-integrity check.
+func TestRunCellRejections(t *testing.T) {
+	ctx := context.Background()
+	sc := cellScenario()
+	cells, err := ScenarioCells(sc)
+	if err != nil {
+		t.Fatalf("ScenarioCells: %v", err)
+	}
+	good := cells[0]
+
+	doctored := good
+	doctored.Seed++
+	cases := map[string]error{}
+	_, cases["doctored seed"] = RunCell(ctx, sc, doctored)
+	offMatrix := good
+	offMatrix.Scale = 16
+	_, cases["off-matrix scale"] = RunCell(ctx, sc, offMatrix)
+	_, cases["WithSeed"] = RunCell(ctx, sc, good, WithSeed(9))
+	_, cases["WithWorkers"] = RunCell(ctx, sc, good, WithWorkers(2))
+	_, cases["WithMode"] = RunCell(ctx, sc, good, WithMode(NORM))
+	_, cases["nil scenario"] = RunCell(ctx, nil, good)
+	for name, err := range cases {
+		if !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: want ErrBadSpec, got %v", name, err)
+		}
+	}
+	if _, err := ScenarioCells(nil); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("ScenarioCells(nil): want ErrBadSpec, got %v", err)
+	}
+
+	// The allowed cell options work.
+	res, err := RunCell(ctx, sc, good, WithHorizon(Seconds(1e6)), WithCellMetrics())
+	if err != nil {
+		t.Fatalf("RunCell with cell options: %v", err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("WithCellMetrics did not publish a snapshot")
+	}
+}
+
+// TestSpecKey pins the public key facade.
+func TestSpecKey(t *testing.T) {
+	sc := cellScenario()
+	k1, err := SpecKey(sc)
+	if err != nil {
+		t.Fatalf("SpecKey: %v", err)
+	}
+	k2, _ := SpecKey(cellScenario())
+	if k1 != k2 || len(k1) != 64 {
+		t.Fatalf("keys unstable or malformed: %q vs %q", k1, k2)
+	}
+	b, err := CanonicalScenario(sc)
+	if err != nil || len(b) == 0 {
+		t.Fatalf("CanonicalScenario: %v", err)
+	}
+	bad := cellScenario()
+	bad.Modes = []string{"nope"}
+	if _, err := SpecKey(bad); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("SpecKey on invalid spec: want ErrBadSpec, got %v", err)
+	}
+}

@@ -15,6 +15,12 @@
 //
 //	for cell, err := range gb.Sweep(ctx, spec, gb.WithWorkers(8)) { … }
 //
+// Callers that schedule work themselves — the gbd service daemon above
+// all — use the per-cell surface instead: ScenarioCells flattens a
+// scenario into cell keys and RunCell executes exactly one of them, with
+// CanonicalScenario/SpecKey providing the canonical spec bytes and hash
+// that make results cacheable (identical inputs, identical bytes).
+//
 // # Composition
 //
 // Configuration is by functional options (WithMode, WithCluster,

@@ -1,0 +1,116 @@
+package gbd
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// errDraining is returned by Submit once the pool has been closed; the
+// HTTP layer maps it to 503 so clients know to retry elsewhere.
+var errDraining = errors.New("gbd: draining, not accepting new work")
+
+// pool is the daemon's shared cell executor: a fixed set of worker
+// goroutines draining per-tenant FIFO queues in round-robin order. Every
+// request's cells land in its tenant's queue, and workers rotate across
+// tenants one cell at a time, so a tenant that submits a thousand-cell
+// sweep delays a one-cell tenant by at most one cell per worker — fairness
+// at cell granularity, without preemption, priorities, or starvation.
+type pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string][]func()
+	ring   []string // tenants with queued work, round-robin order
+	closed bool
+	wg     sync.WaitGroup
+
+	queued *metrics.Gauge
+	active *metrics.Gauge
+}
+
+// newPool starts workers goroutines (<= 0: GOMAXPROCS).
+func newPool(workers int, queued, active *metrics.Gauge) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{
+		queues: map[string][]func(){},
+		queued: queued,
+		active: active,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues fn on tenant's queue. fn always runs exactly once —
+// jobs whose request has since been canceled are expected to notice their
+// dead context and return immediately. Fails only while draining.
+func (p *pool) Submit(tenant string, fn func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errDraining
+	}
+	if _, ok := p.queues[tenant]; !ok {
+		p.ring = append(p.ring, tenant)
+	}
+	p.queues[tenant] = append(p.queues[tenant], fn)
+	p.mu.Unlock()
+	p.queued.Add(1)
+	p.cond.Signal()
+	return nil
+}
+
+// pop removes and returns the next job in round-robin order. Caller holds
+// p.mu and guarantees the ring is non-empty.
+func (p *pool) pop() func() {
+	t := p.ring[0]
+	q := p.queues[t]
+	fn := q[0]
+	if len(q) == 1 {
+		delete(p.queues, t)
+		p.ring = p.ring[1:]
+	} else {
+		p.queues[t] = q[1:]
+		// Rotate: the tenant goes to the back so the next worker serves
+		// the next tenant.
+		p.ring = append(p.ring[1:], t)
+	}
+	return fn
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for !p.closed && len(p.ring) == 0 {
+			p.cond.Wait()
+		}
+		if len(p.ring) == 0 { // closed and drained
+			p.mu.Unlock()
+			return
+		}
+		fn := p.pop()
+		p.mu.Unlock()
+		p.queued.Add(-1)
+		p.active.Add(1)
+		fn()
+		p.active.Add(-1)
+	}
+}
+
+// Close stops accepting new work, lets already-queued jobs run (canceled
+// ones are no-ops), and waits for every worker to exit.
+func (p *pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

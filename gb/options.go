@@ -3,19 +3,23 @@ package gb
 import "repro/internal/harness"
 
 // scope says which entry point an option list is being applied to: some
-// options configure a single run, some configure a sweep, some both. An
-// option used outside its scope is rejected with ErrBadSpec rather than
-// silently ignored.
+// options configure a single run, some configure a sweep or a single sweep
+// cell, some several. An option used outside its scope is rejected with
+// ErrBadSpec rather than silently ignored.
 type scope int
 
 const (
 	scopeRun scope = iota
 	scopeSweep
+	scopeCell
 )
 
 func (s scope) String() string {
-	if s == scopeSweep {
+	switch s {
+	case scopeSweep:
 		return "Sweep"
+	case scopeCell:
+		return "RunCell"
 	}
 	return "Run"
 }
@@ -60,7 +64,7 @@ type Option func(*config) error
 func runOnly(name string, f func(*config)) Option {
 	return func(c *config) error {
 		if c.scope != scopeRun {
-			return errBadSpec("%s applies to Run, not Sweep (the scenario spec owns it)", name)
+			return errBadSpec("%s applies to Run, not %s (the scenario spec owns it)", name, c.scope)
 		}
 		f(c)
 		return nil
@@ -84,9 +88,13 @@ func WithSchedule(s Schedule) Option {
 
 // WithSeed sets the simulation seed (default 1; identical seeds produce
 // identical runs). On a sweep it overrides the scenario spec's seed, from
-// which every cell seed derives.
+// which every cell seed derives. Rejected by RunCell: a cell key already
+// carries its derived seed.
 func WithSeed(seed int64) Option {
 	return func(c *config) error {
+		if c.scope == scopeCell {
+			return errBadSpec("WithSeed applies to Run or Sweep, not RunCell (the cell key owns the seed)")
+		}
 		c.spec.Seed = seed
 		c.seed, c.seedSet = seed, true
 		return nil
@@ -163,14 +171,14 @@ func WithObserver(obs ...Observer) Option {
 	})
 }
 
-// WithCellMetrics attaches a fresh MetricsObserver to every sweep cell, so
-// each yielded Cell.Result carries a per-cell metrics snapshot
-// (Result.Metrics). On a single run, stack the observer yourself:
-// WithObserver(NewMetricsObserver()).
+// WithCellMetrics attaches a fresh MetricsObserver to every sweep cell (or
+// to the one cell of a RunCell call), so each Cell.Result carries a
+// per-cell metrics snapshot (Result.Metrics). On a single run, stack the
+// observer yourself: WithObserver(NewMetricsObserver()).
 func WithCellMetrics() Option {
 	return func(c *config) error {
-		if c.scope != scopeSweep {
-			return errBadSpec("WithCellMetrics applies to Sweep, not Run (use WithObserver(NewMetricsObserver()))")
+		if c.scope == scopeRun {
+			return errBadSpec("WithCellMetrics applies to Sweep or RunCell, not Run (use WithObserver(NewMetricsObserver()))")
 		}
 		c.cellMetrics = true
 		return nil
@@ -183,7 +191,7 @@ func WithCellMetrics() Option {
 func WithWorkers(n int) Option {
 	return func(c *config) error {
 		if c.scope != scopeSweep {
-			return errBadSpec("WithWorkers applies to Sweep, not Run (a single run is one simulation)")
+			return errBadSpec("WithWorkers applies to Sweep, not %s (a single run is one simulation)", c.scope)
 		}
 		c.workers = n
 		return nil

@@ -15,9 +15,25 @@ type (
 	// Scenario is a declarative experiment: a cluster calibration × a
 	// workload × scales × protocol modes × a checkpoint schedule × an
 	// optional failure process, swept as Scales × Modes × Reps cells.
-	// Build one from JSON with LoadScenario/ParseScenario or by name with
-	// BuiltinScenario.
+	// Build one from JSON with LoadScenario/ParseScenario, by name with
+	// BuiltinScenario, or as a literal from the Scenario* field types.
 	Scenario = scenario.Spec
+
+	// ScenarioCluster selects a named cluster calibration and optionally
+	// overrides it (Scenario.Cluster).
+	ScenarioCluster = scenario.ClusterSpec
+
+	// ScenarioWorkload names a workload skeleton and its parameters
+	// (Scenario.Workload).
+	ScenarioWorkload = scenario.WorkloadSpec
+
+	// ScenarioCheckpoint schedules checkpoints in seconds of virtual time
+	// (Scenario.Checkpoint).
+	ScenarioCheckpoint = scenario.CheckpointSpec
+
+	// ScenarioFailures arms a stochastic failure process on every cell
+	// (Scenario.Failures).
+	ScenarioFailures = scenario.FailureSpec
 
 	// Table is a rendered result table (String, TSV).
 	Table = stats.Table

@@ -33,6 +33,14 @@ type VCL struct {
 	store      cluster.Storage
 	imageBytes func(int) int64
 
+	// OnRecord, when non-nil, receives each rank's completed checkpoint
+	// record the moment the rank finishes its dump and marker collection —
+	// the VCL counterpart of Config.OnRecord on the group engine, so
+	// ckpt_* metrics cover mode comparisons end to end. It runs in the
+	// checkpointing daemon's context and must not block. Set it before
+	// the first scheduled checkpoint.
+	OnRecord func(ckpt.Record)
+
 	states   []*vclState
 	records  []ckpt.Record
 	epochs   int
@@ -179,7 +187,7 @@ func (v *VCL) checkpoint(st *vclState, p *sim.Proc, epoch, replyTo int) {
 		SentTo:     map[int]int64{},
 		RecvdFrom:  map[int]int64{},
 	}
-	v.records = append(v.records, ckpt.Record{
+	rec := ckpt.Record{
 		Rank: r.ID, Epoch: epoch, Start: start, End: end,
 		Stages: ckpt.Breakdown{
 			ckpt.StageLock:     tCut - start,
@@ -188,7 +196,11 @@ func (v *VCL) checkpoint(st *vclState, p *sim.Proc, epoch, replyTo int) {
 			ckpt.StageFinalize: 0,
 		},
 		ImageBytes: img,
-	})
+	}
+	v.records = append(v.records, rec)
+	if v.OnRecord != nil {
+		v.OnRecord(rec)
+	}
 	r.CtrlSend(p, replyTo, tagCkptDoneBase+epoch, doneBytes, epoch)
 }
 

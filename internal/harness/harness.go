@@ -289,6 +289,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		res.Name = "none"
 	case VCL:
 		v := core.NewVCL(w, store, wl.ImageBytes)
+		v.OnRecord = env.recordHook()
 		schedule(
 			func(t sim.Time, _ []int) { v.ScheduleAt(t) },
 			v.SchedulePeriodic,

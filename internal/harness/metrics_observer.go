@@ -18,8 +18,8 @@ import (
 // Observation never perturbs the simulation: the hooks record what already
 // happened and the hot paths pay only atomic increments (see
 // OBSERVABILITY.md for the metric reference and the zero-alloc contract).
-// Under VCL the checkpoint engine keeps no per-record hook, so ckpt_*
-// metrics stay zero there; kernel and message metrics work in every mode.
+// Every mode is covered: the group engine and the VCL baseline both
+// stream per-checkpoint records, so ckpt_* metrics compare across modes.
 type MetricsObserver struct {
 	col *metrics.Collector
 

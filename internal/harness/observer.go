@@ -41,9 +41,8 @@ type RunEnv struct {
 func (e *RunEnv) OnCut(fn func(core.Cut)) { e.onCut = append(e.onCut, fn) }
 
 // OnRecord registers fn to receive each rank's completed checkpoint record
-// the moment its group checkpoint finishes. Group-based modes only; under
-// VCL the engine exposes records only after the run and registrations are
-// ignored.
+// the moment its checkpoint finishes — group engine and VCL baseline
+// alike, so per-checkpoint metrics cover mode comparisons end to end.
 func (e *RunEnv) OnRecord(fn func(ckpt.Record)) { e.onRecord = append(e.onRecord, fn) }
 
 // OnFailure registers fn to receive each injected failure's evaluated

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"sort"
@@ -361,5 +362,51 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(float64(i))
+	}
+}
+
+// TestLabel pins the label-merging helper: appending, merging into an
+// existing set, and value escaping.
+func TestLabel(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Label("req_total", "tenant", "a"), `req_total{tenant="a"}`},
+		{Label(Label("req_total", "tenant", "a"), "code", "400"),
+			`req_total{tenant="a",code="400"}`},
+		{Label("x", "k", `a"b\c`), `x{k="a\"b\\c"}`},
+		{Label("x", "k", "a\nb"), `x{k="a\nb"}`},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("Label: got %s want %s", c.got, c.want)
+		}
+	}
+}
+
+// TestWritePrometheusLabeledFamilies: labeled series of one family share a
+// single HELP/TYPE header, and labeled histograms keep the label set on
+// every derived series (_sum, _count, quantiles).
+func TestWritePrometheusLabeledFamilies(t *testing.T) {
+	c := New()
+	c.Counter(Label("req_total", "tenant", "a"), "reqs", "requests served").Add(2)
+	c.Counter(Label("req_total", "tenant", "b"), "reqs", "requests served").Add(3)
+	h := c.Histogram(Label("lat_seconds", "tenant", "a"), "s", "latency")
+	h.Observe(1)
+	var buf bytes.Buffer
+	if err := c.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP req_total requests served (reqs)\n" +
+		"# TYPE req_total counter\n" +
+		"req_total{tenant=\"a\"} 2\n" +
+		"req_total{tenant=\"b\"} 3\n" +
+		"# HELP lat_seconds latency (s)\n" +
+		"# TYPE lat_seconds summary\n" +
+		"lat_seconds{tenant=\"a\",quantile=\"0.5\"} 1\n" +
+		"lat_seconds{tenant=\"a\",quantile=\"0.9\"} 1\n" +
+		"lat_seconds{tenant=\"a\",quantile=\"0.99\"} 1\n" +
+		"lat_seconds_sum{tenant=\"a\"} 1\n" +
+		"lat_seconds_count{tenant=\"a\"} 1\n"
+	if buf.String() != want {
+		t.Errorf("labeled exposition drifted:\ngot:\n%swant:\n%s", buf.String(), want)
 	}
 }

@@ -147,14 +147,66 @@ func (s *Snapshot) Histogram(name string) (HistogramValue, bool) {
 	return HistogramValue{}, false
 }
 
+// Label returns name with a k="v" label pair appended, merging with an
+// existing label set: Label("req_total", "tenant", "a") is
+// `req_total{tenant="a"}`, and labeling that again appends inside the
+// braces. The value is escaped per the exposition format. Instruments
+// registered under labeled names form one metric family per base name —
+// WritePrometheus emits a single HELP/TYPE header for the family and one
+// series line per label set, which is how a multi-tenant daemon exposes
+// per-tenant series through a label-free collector.
+func Label(name, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + pair + "}"
+	}
+	return name + "{" + pair + "}"
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// splitSeries splits a series name into its family and label body:
+// `x_total{tenant="a"}` → ("x_total", `tenant="a"`); an unlabeled name is
+// its own family with an empty label body.
+func splitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// series renders family plus an optional label body back into a series name.
+func series(family, labels string) string {
+	if labels == "" {
+		return family
+	}
+	return family + "{" + labels + "}"
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format: counters and gauges as their native types, histograms as
 // summaries (quantile series plus _sum and _count). Output order is
-// deterministic: counters, gauges, histograms, each sorted by name. This
-// is the serialization a future gbd daemon will serve from /metrics.
+// deterministic: counters, gauges, histograms, each sorted by name.
+// Labeled series (see Label) of one family sort adjacently and share a
+// single HELP/TYPE header. This is the serialization gbd serves from
+// /metrics.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	seen := map[string]bool{}
+	header := func(name, help, unit, typ string) (string, string, error) {
+		fam, labels := splitSeries(name)
+		if seen[fam] {
+			return fam, labels, nil
+		}
+		seen[fam] = true
+		return fam, labels, writeHeader(w, fam, help, unit, typ)
+	}
 	for _, c := range s.Counters {
-		if err := writeHeader(w, c.Name, c.Help, c.Unit, "counter"); err != nil {
+		if _, _, err := header(c.Name, c.Help, c.Unit, "counter"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
@@ -162,7 +214,7 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, g := range s.Gauges {
-		if err := writeHeader(w, g.Name, g.Help, g.Unit, "gauge"); err != nil {
+		if _, _, err := header(g.Name, g.Help, g.Unit, "gauge"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %s\n", g.Name, formatFloat(g.Value)); err != nil {
@@ -170,21 +222,23 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, h := range s.Histograms {
-		if err := writeHeader(w, h.Name, h.Help, h.Unit, "summary"); err != nil {
+		fam, labels, err := header(h.Name, h.Help, h.Unit, "summary")
+		if err != nil {
 			return err
 		}
 		for _, q := range []struct {
 			label string
 			v     float64
 		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
-			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", h.Name, q.label, formatFloat(q.v)); err != nil {
+			qlabels := Label(series(fam, labels), "quantile", q.label)
+			if _, err := fmt.Fprintf(w, "%s %s\n", qlabels, formatFloat(q.v)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatFloat(h.Sum)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n", series(fam+"_sum", labels), formatFloat(h.Sum)); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(fam+"_count", labels), h.Count); err != nil {
 			return err
 		}
 	}

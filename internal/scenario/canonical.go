@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical renders the spec's canonical wire encoding: the spec is
+// defaulted and validated on a copy, then marshaled as compact JSON with
+// fields in their declared (stable) order and every defaulted knob written
+// out explicitly. Two specs that describe the same experiment — whether one
+// spelled out a default and the other omitted it — canonicalize to the same
+// bytes, and the bytes round-trip through Parse unchanged (unknown fields
+// rejected), so the encoding can serve as both the wire contract and a
+// cache key. The caller's spec is never mutated.
+func Canonical(s *Spec) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("scenario: canonical of nil spec")
+	}
+	cp := *s
+	cp.applyDefaults()
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(&cp); err != nil {
+		return nil, fmt.Errorf("scenario: canonical: %w", err)
+	}
+	// Encoder appends a newline; the canonical form is the bare object.
+	return bytes.TrimSuffix(buf.Bytes(), []byte("\n")), nil
+}
+
+// Key returns the spec's canonical identity: the hex SHA-256 of its
+// Canonical encoding. Determinism makes the key a complete cache address —
+// a spec plus its (canonicalized-in) seed fully determines every cell
+// result, so equal keys mean byte-identical sweeps.
+func Key(s *Spec) (string, error) {
+	b, err := Canonical(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCanonicalRoundTrip proves the canonical encoding is a fixed point:
+// parsing the canonical bytes and canonicalizing again reproduces them
+// exactly, for every built-in profile and the shipped example spec shapes.
+func TestCanonicalRoundTrip(t *testing.T) {
+	specs := map[string]*Spec{}
+	for _, name := range BuiltInNames() {
+		s, ok := BuiltIn(name)
+		if !ok {
+			t.Fatalf("builtin %q missing", name)
+		}
+		specs["builtin/"+name] = s
+	}
+	// A hand-built spec relying entirely on defaults.
+	specs["defaults"] = &Spec{
+		Workload: WorkloadSpec{Kind: "synthetic"},
+		Scales:   []int{8},
+	}
+	// A spec exercising the optional knobs, including the jitter pointer.
+	zero := 0.0
+	specs["knobs"] = &Spec{
+		Name:     "knobs",
+		Notes:    "all the optional fields",
+		Cluster:  ClusterSpec{Profile: "modern", GFlops: 2, JitterFrac: &zero},
+		Workload: WorkloadSpec{Kind: "cg", NIter: 3},
+		Scales:   []int{16, 32},
+		Modes:    []string{"GP1"},
+		Checkpoint: CheckpointSpec{
+			IntervalS: 5, MaxCount: 2,
+		},
+		Failures:      &FailureSpec{Process: "weibull", MTBFS: 9, Shape: 0.7},
+		Reps:          3,
+		Seed:          7,
+		GroupMax:      4,
+		RemoteServers: 2,
+	}
+
+	for name, s := range specs {
+		t.Run(name, func(t *testing.T) {
+			b1, err := Canonical(s)
+			if err != nil {
+				t.Fatalf("Canonical: %v", err)
+			}
+			reparsed, err := Parse(bytes.NewReader(b1))
+			if err != nil {
+				t.Fatalf("canonical bytes do not re-parse: %v\n%s", err, b1)
+			}
+			b2, err := Canonical(reparsed)
+			if err != nil {
+				t.Fatalf("Canonical(reparsed): %v", err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("canonical not a fixed point:\n first: %s\nsecond: %s", b1, b2)
+			}
+		})
+	}
+}
+
+// TestCanonicalNormalizes proves spelling out a default and omitting it
+// canonicalize identically, and that the caller's spec is untouched.
+func TestCanonicalNormalizes(t *testing.T) {
+	implicit := &Spec{Workload: WorkloadSpec{Kind: "synthetic"}, Scales: []int{8}}
+	explicit := &Spec{
+		Name:     "unnamed",
+		Cluster:  ClusterSpec{Profile: "gideon"},
+		Workload: WorkloadSpec{Kind: "synthetic"},
+		Scales:   []int{8},
+		Modes:    []string{"GP", "NORM"},
+		Reps:     2,
+		Seed:     1,
+	}
+	b1, err := Canonical(implicit)
+	if err != nil {
+		t.Fatalf("Canonical(implicit): %v", err)
+	}
+	b2, err := Canonical(explicit)
+	if err != nil {
+		t.Fatalf("Canonical(explicit): %v", err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("defaulted and explicit specs differ:\n%s\n%s", b1, b2)
+	}
+	if implicit.Name != "" || implicit.Reps != 0 || implicit.Seed != 0 {
+		t.Fatalf("Canonical mutated its argument: %+v", implicit)
+	}
+	// Defaults must appear in the canonical bytes, not be elided.
+	for _, want := range []string{`"seed":1`, `"reps":2`, `"modes":["GP","NORM"]`, `"profile":"gideon"`} {
+		if !strings.Contains(string(b1), want) {
+			t.Errorf("canonical bytes missing %s:\n%s", want, b1)
+		}
+	}
+}
+
+// TestCanonicalRejectsInvalid proves canonicalization validates.
+func TestCanonicalRejectsInvalid(t *testing.T) {
+	if _, err := Canonical(nil); err == nil {
+		t.Fatal("Canonical(nil) accepted")
+	}
+	bad := &Spec{Workload: WorkloadSpec{Kind: "nope"}, Scales: []int{8}}
+	if _, err := Canonical(bad); err == nil {
+		t.Fatal("Canonical accepted an invalid workload kind")
+	}
+	if _, err := Key(bad); err == nil {
+		t.Fatal("Key accepted an invalid spec")
+	}
+}
+
+// TestKeyStability pins key semantics: equal experiments share a key, any
+// semantic change produces a new one.
+func TestKeyStability(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{Workload: WorkloadSpec{Kind: "synthetic"}, Scales: []int{8}}
+	}
+	k1, err := Key(base())
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	k2, _ := Key(base())
+	if k1 != k2 {
+		t.Fatalf("identical specs got different keys: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key is not a hex sha256: %q", k1)
+	}
+	mutated := base()
+	mutated.Seed = 2
+	k3, _ := Key(mutated)
+	if k3 == k1 {
+		t.Fatal("seed change did not change the key")
+	}
+	// json.Marshal must never be asked to guess field order: the struct
+	// declaration order is the contract. Guard against an accidental
+	// switch to map-based encoding by checking the prefix.
+	b, _ := Canonical(base())
+	if !json.Valid(b) || b[0] != '{' || !strings.HasPrefix(string(b), `{"name":`) {
+		t.Fatalf("canonical encoding shape drifted: %s", b)
+	}
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# gbd end-to-end smoke: start the daemon on a free port, stream the shipped
+# modern-weibull scenario over SSE, diff the cells against their golden,
+# prove cached responses are byte-identical, and drain cleanly on SIGTERM.
+# Extra arguments are passed to `go build` (e.g. -race for the race-mode
+# variant). Run from the repository root; `make gbd-smoke` does.
+set -eu
+
+tmp=$(mktemp -d)
+daemon=""
+cleanup() {
+	[ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build "$@" -o "$tmp/gbd" ./cmd/gbd
+
+"$tmp/gbd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -workers 4 -drain 30s 2>"$tmp/log" &
+daemon=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "gbd-smoke: daemon never bound" >&2
+		cat "$tmp/log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+url="http://$(cat "$tmp/addr")"
+
+# Cold sweep: every cell computed, streamed over SSE, printed in matrix
+# order. Byte-exact against the golden — the determinism contract.
+"$tmp/gbd" -post examples/scenarios/modern-weibull.json -url "$url" -tenant smoke >"$tmp/cells1"
+diff -u examples/scenarios/modern-weibull.cells.golden "$tmp/cells1"
+
+# Warm sweep: pure cache, and the bytes must not change.
+"$tmp/gbd" -post examples/scenarios/modern-weibull.json -url "$url" -tenant smoke >"$tmp/cells2"
+cmp "$tmp/cells1" "$tmp/cells2"
+
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+	echo "gbd-smoke: daemon exited nonzero after SIGTERM" >&2
+	cat "$tmp/log" >&2
+	exit 1
+fi
+daemon=""
+grep -q "drained" "$tmp/log" || {
+	echo "gbd-smoke: no drain confirmation in the daemon log" >&2
+	cat "$tmp/log" >&2
+	exit 1
+}
+echo "gbd smoke ok"

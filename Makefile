@@ -5,7 +5,7 @@ GO ?= go
 SHORT_SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)
 COMMIT_WHEN := $(shell git show -s --format=%cI HEAD 2>/dev/null || echo "")
 
-.PHONY: build test race bench bench-json bench-diff bench-trend fuzz-smoke smoke examples-smoke check-smoke gbd-smoke gbd-smoke-race lint ci
+.PHONY: build test race parallel-race bench bench-json bench-diff bench-trend fuzz-smoke smoke examples-smoke check-smoke gbd-smoke gbd-smoke-race lint ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The partitioned kernel's dedicated race exercise: a multi-group 4096-rank
+# cell with its event loop spread across 8 worker threads, under the race
+# detector (gb/race_test.go). The test is build-tagged race-only, so plain
+# `make race` runs it too; this named target is the targeted variant CI
+# reports on its own line, mirroring gbd-smoke-race.
+parallel-race:
+	$(GO) test -race -run TestParallelKernelMultiGroupRace -v ./gb
 
 # One iteration of every benchmark — a smoke pass proving the experiment
 # suite still regenerates each figure, not a timing run.

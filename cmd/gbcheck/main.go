@@ -39,7 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "base generator seed; scenario i uses seed+i (0 = the deterministic default 1, never wall clock)")
 		maxRanks = flag.Int("max-ranks", 64, "cap on generated rank counts (min 16; raise for overnight sweeps)")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation cells to run concurrently within each scenario")
-		quick    = flag.Bool("quick", false, "skip the serial determinism re-run (halves the cost, drops one invariant)")
+		quick    = flag.Bool("quick", false, "skip the determinism re-runs (the serial re-run and the partitioned run-worker sweep), trading two invariants for speed")
 		verbose  = flag.Bool("v", false, "print each generated spec before checking it")
 	)
 	flag.Parse()
@@ -50,7 +50,7 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	cfg := gb.CheckConfig{Workers: *parallel, SkipDeterminism: *quick}
+	cfg := gb.CheckConfig{Workers: *parallel, SkipDeterminism: *quick, SkipRunWorkers: *quick}
 	failed := 0
 	cells := 0
 	for i := 0; i < *n; i++ {

@@ -61,8 +61,9 @@ func ScenarioCells(sc *Scenario) ([]CellKey, error) {
 // matrix is rejected with ErrBadSpec (a doctored seed would silently
 // diverge from what a Sweep of the spec produces).
 //
-// Accepted options: WithHorizon (per-cell virtual-time bound) and
-// WithCellMetrics (attach a per-cell metrics snapshot). The scenario spec
+// Accepted options: WithHorizon (per-cell virtual-time bound),
+// WithCellMetrics (attach a per-cell metrics snapshot), and WithRunWorkers
+// (intra-run event-loop threads; byte-identical at any count). The scenario spec
 // owns everything else; WithSeed is rejected because the cell key already
 // carries its derived seed. Identical (scenario, cell) inputs produce
 // identical Results, bit for bit.

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -49,11 +50,12 @@ type Options struct {
 // share one bounded worker pool (per-tenant round-robin) and one
 // determinism cache.
 type Server struct {
-	opts  Options
-	col   *metrics.Collector
-	pool  *pool
-	cache *cache
-	mux   *http.ServeMux
+	opts     Options
+	col      *metrics.Collector
+	pool     *pool
+	poolSize int
+	cache    *cache
+	mux      *http.ServeMux
 
 	// baseCtx is canceled by Abort; every request context is its child.
 	baseCtx context.Context
@@ -93,7 +95,11 @@ func NewServer(opts Options) *Server {
 	active := col.Gauge("gbd_active_cells", "cells", "cells executing right now")
 	hits := col.Counter("gbd_cache_hits_total", "cells", "cells served from the determinism cache")
 	misses := col.Counter("gbd_cache_misses_total", "cells", "cells computed because the cache had no entry")
-	s.pool = newPool(opts.Workers, queued, active)
+	s.poolSize = opts.Workers
+	if s.poolSize <= 0 {
+		s.poolSize = runtime.GOMAXPROCS(0)
+	}
+	s.pool = newPool(s.poolSize, queued, active)
 	s.cache = newCache(hits, misses)
 	s.baseCtx, s.abort = context.WithCancel(context.Background())
 
@@ -222,10 +228,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 // request is a decoded, validated API request: the parsed scenario, its
 // canonical key, the effective horizon, and the cell matrix.
 type request struct {
-	sc       *gb.Scenario
-	key      string
-	horizonS float64
-	cells    []gb.CellKey
+	sc         *gb.Scenario
+	key        string
+	horizonS   float64
+	runWorkers int
+	cells      []gb.CellKey
 }
 
 func badSpec(format string, args ...any) error {
@@ -249,6 +256,13 @@ func (s *Server) decode(r *http.Request) (*request, error) {
 	if req.HorizonS < 0 {
 		return nil, badSpec("negative horizonS %g", req.HorizonS)
 	}
+	if req.RunWorkers < 0 {
+		return nil, badSpec("negative runWorkers %d", req.RunWorkers)
+	}
+	runWorkers := req.RunWorkers
+	if runWorkers > s.poolSize {
+		runWorkers = s.poolSize
+	}
 	sc, err := gb.ParseScenario(bytes.NewReader(req.Spec))
 	if err != nil {
 		return nil, badSpec("spec: %v", err)
@@ -269,7 +283,7 @@ func (s *Server) decode(r *http.Request) (*request, error) {
 	if horizonS == 0 {
 		horizonS = s.opts.DefaultHorizonS
 	}
-	return &request{sc: sc, key: key, horizonS: horizonS, cells: cells}, nil
+	return &request{sc: sc, key: key, horizonS: horizonS, runWorkers: runWorkers, cells: cells}, nil
 }
 
 // cellOut is one scheduled cell's outcome, tagged with its matrix index.
@@ -296,6 +310,9 @@ func (s *Server) schedule(ctx context.Context, req *request) (<-chan cellOut, er
 				var opts []gb.Option
 				if req.horizonS > 0 {
 					opts = append(opts, gb.WithHorizon(gb.Seconds(req.horizonS)))
+				}
+				if req.runWorkers > 0 {
+					opts = append(opts, gb.WithRunWorkers(req.runWorkers))
 				}
 				res, err := gb.RunCell(ctx, req.sc, c, opts...)
 				if err != nil {

@@ -34,6 +34,12 @@ type RunRequest struct {
 	// HorizonS caps each cell's virtual time in seconds. 0 inherits the
 	// daemon's default horizon; negative is rejected.
 	HorizonS float64 `json:"horizonS,omitempty"`
+	// RunWorkers sets how many threads each cell's simulation may use for
+	// its own event loop (gb.WithRunWorkers). 0 means serial; negative is
+	// rejected; values above the daemon's pool size are capped to it.
+	// Cell results are byte-identical at every worker count, so this knob
+	// changes wall-clock time only and is not part of the cache key.
+	RunWorkers int `json:"runWorkers,omitempty"`
 }
 
 // WireFailures aggregates a cell's injected-failure outcomes on the wire.

@@ -35,6 +35,7 @@ type config struct {
 	seedSet     bool
 	horizonS    float64
 	cellMetrics bool
+	runWorkers  int
 }
 
 func newConfig(s scope) *config {
@@ -181,6 +182,25 @@ func WithCellMetrics() Option {
 			return errBadSpec("WithCellMetrics applies to Sweep or RunCell, not Run (use WithObserver(NewMetricsObserver()))")
 		}
 		c.cellMetrics = true
+		return nil
+	}
+}
+
+// WithRunWorkers sets how many OS threads a single simulation may use for
+// its own event loop (default 1 = the classic serial kernel). Large
+// group-mode runs are partitioned by checkpoint group; n > 1 lets those
+// partitions advance concurrently. Results are byte-identical at every
+// worker count — the partition schedule depends only on the spec, never on
+// thread timing — so this is purely a wall-clock knob. Orthogonal to
+// WithWorkers, which parallelizes *across* sweep cells; WithRunWorkers
+// parallelizes *inside* each run.
+func WithRunWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return errBadSpec("WithRunWorkers(%d): negative worker count", n)
+		}
+		c.spec.RunWorkers = n
+		c.runWorkers = n
 		return nil
 	}
 }

@@ -1,0 +1,46 @@
+//go:build race
+
+package gb_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/gb"
+)
+
+// TestParallelKernelMultiGroupRace drives the group-partitioned kernel's
+// genuinely concurrent path under the race detector: a 4096-rank
+// multi-group cell — large enough to split into many partitions — with
+// periodic checkpoints, an armed failure process, cell metrics, and its
+// event loop spread across 8 worker threads. The serial default never
+// exercises the worker pool, so without this test `make race` would prove
+// the partitioned schedule correct while leaving the actual parallel
+// execution unobserved. Build-tagged race-only: it rides along with
+// `go test -race ./...` and the dedicated `make parallel-race` target.
+func TestParallelKernelMultiGroupRace(t *testing.T) {
+	wl := gb.Synthetic(4096, 8)
+	failures := gb.PoissonFailures(0.008)
+	failures.Max = 2
+	res, err := gb.Run(context.Background(), wl,
+		gb.WithMode(gb.GP1),
+		gb.WithCluster(gb.Modern()),
+		gb.WithSchedule(gb.Schedule{Interval: gb.Seconds(0.005)}),
+		gb.WithFailures(failures),
+		gb.WithObserver(gb.NewMetricsObserver()),
+		gb.WithRunWorkers(8),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs == 0 {
+		t.Error("no checkpoint epochs completed — the cell did not exercise the protocol")
+	}
+	if res.Metrics == nil {
+		t.Fatal("metrics observer published no snapshot")
+	}
+	parts, ok := res.Metrics.Gauge("sim_partitions")
+	if !ok || parts < 2 {
+		t.Errorf("sim_partitions = %v (ok=%v); the 4096-rank world should have split into several partitions", parts, ok)
+	}
+}

@@ -145,5 +145,5 @@ func (c *config) sweepSpec(sc *Scenario) (*Scenario, scenario.Instrument, error)
 	if err := cp.Validate(); err != nil {
 		return nil, scenario.Instrument{}, fmt.Errorf("gb: %w: %v", ErrBadSpec, err)
 	}
-	return &cp, scenario.Instrument{HorizonS: c.horizonS, Metrics: c.cellMetrics}, nil
+	return &cp, scenario.Instrument{HorizonS: c.horizonS, Metrics: c.cellMetrics, RunWorkers: c.runWorkers}, nil
 }

@@ -206,7 +206,25 @@ func (c *Cluster) Transfer(p *sim.Proc, a, b *Node, bytes int64) sim.Time {
 		p.Hold(d)
 		return p.Now()
 	}
+	return c.RecvSide(b, c.SendSide(p, a, bytes), bytes)
+}
+
+// SendSide models the sender half of a cross-node Transfer: p serializes the
+// message through a's outbound NIC, and the returned time is when the
+// message reaches the far side of the wire (serialized + fixed latency) —
+// before receiver-side NIC serialization. Splitting Transfer here is what
+// lets a partitioned run ship a message across a partition edge: the send
+// half books only sender-owned state, the receive half (RecvSide) books only
+// receiver-owned state, and the latency between them is the lookahead that
+// makes the edge safe.
+func (c *Cluster) SendSide(p *sim.Proc, a *Node, bytes int64) sim.Time {
 	wire := bytes + c.Cfg.MsgOverhead
-	sent := a.NICOut.Use(p, wire)
-	return b.NICIn.ReserveAt(sent+c.Cfg.Latency, wire)
+	return a.NICOut.Use(p, wire) + c.Cfg.Latency
+}
+
+// RecvSide models the receiver half: the message, available at the wire at
+// time at, serializes through b's inbound NIC; the returned time is its
+// arrival. Must run in b's partition.
+func (c *Cluster) RecvSide(b *Node, at sim.Time, bytes int64) sim.Time {
+	return b.NICIn.ReserveAt(at, bytes+c.Cfg.MsgOverhead)
 }

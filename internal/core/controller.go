@@ -19,8 +19,9 @@ import (
 // ScheduleAt triggers one checkpoint of the given groups (nil = all groups)
 // at virtual time t. Must be called before the kernel runs.
 func (e *Engine) ScheduleAt(t sim.Time, groups []int) {
-	e.w.K.At(t, func() {
-		e.w.K.SpawnDaemon("mpirun", func(p *sim.Proc) {
+	cp := e.part(0) // the controller lives with the head rank's partition
+	e.w.K.PartAt(cp, t, func() {
+		e.w.K.SpawnDaemonIn(cp, "mpirun", func(p *sim.Proc) {
 			e.runEpoch(p, groups)
 		})
 	})
@@ -31,8 +32,9 @@ func (e *Engine) ScheduleAt(t sim.Time, groups []int) {
 // have completed (0 = unlimited). If a checkpoint epoch overruns the
 // interval, the next one starts as soon as the previous completes.
 func (e *Engine) SchedulePeriodic(start, interval sim.Time, maxCount int) {
-	e.w.K.At(0, func() {
-		e.w.K.SpawnDaemon("mpirun", func(p *sim.Proc) {
+	cp := e.part(0)
+	e.w.K.PartAt(cp, 0, func() {
+		e.w.K.SpawnDaemonIn(cp, "mpirun", func(p *sim.Proc) {
 			next := start
 			for i := 0; maxCount == 0 || i < maxCount; i++ {
 				p.HoldUntil(next)
@@ -50,14 +52,9 @@ func (e *Engine) SchedulePeriodic(start, interval sim.Time, maxCount int) {
 }
 
 // appFinished reports whether every rank's application body has returned.
-func (e *Engine) appFinished() bool {
-	for _, r := range e.w.Ranks {
-		if !r.Finished {
-			return false
-		}
-	}
-	return true
-}
+// On a partitioned world the view is the one committed at the last round
+// barrier — race-free and identical at every worker count.
+func (e *Engine) appFinished() bool { return e.w.AllFinishedView() }
 
 // runEpoch performs one complete checkpoint epoch from the controller's
 // perspective: propagate requests to every member of the target groups,
@@ -104,8 +101,9 @@ func (e *Engine) SchedulePeriodicGroup(g int, start, interval sim.Time, maxCount
 	if g < 0 || g >= len(e.cfg.Formation.Groups) {
 		panic("core: SchedulePeriodicGroup: no such group")
 	}
-	e.w.K.At(0, func() {
-		e.w.K.SpawnDaemon(fmt.Sprintf("mpirun-g%d", g), func(p *sim.Proc) {
+	cp := e.part(0)
+	e.w.K.PartAt(cp, 0, func() {
+		e.w.K.SpawnDaemonIn(cp, fmt.Sprintf("mpirun-g%d", g), func(p *sim.Proc) {
 			next := start
 			if next == 0 {
 				next = interval

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ckpt"
 	"repro/internal/cluster"
@@ -103,6 +104,15 @@ type Config struct {
 	// to stream checkpoint durations and image bytes into a collector
 	// while the run executes.
 	OnRecord func(ckpt.Record)
+	// Partitions, when non-nil, maps each rank to the kernel partition it
+	// runs in (matching prior Kernel/World SetPartitions calls). The
+	// engine then places each rank's checkpoint daemon in that partition
+	// and routes per-rank randomness and record/cut reporting through
+	// partition-safe paths: OnCut/OnRecord fire at round barriers, in a
+	// deterministic order, instead of mid-window. Nil is the classic
+	// serial engine. Partitioned engines do not support Archive (the
+	// image store is a single shared structure).
+	Partitions []int
 }
 
 // Cut is one rank's frozen channel state at a checkpoint cut, reported via
@@ -152,6 +162,15 @@ type Engine struct {
 	// epochSpans records, per epoch, the controller-observed span of the
 	// checkpoint (request issue → all groups done) for trace overlays.
 	epochSpans []Span
+
+	// Partitioned-run state: nparts > 1 when cfg.Partitions is installed.
+	// pendRecs/pendCuts buffer each partition's records and cuts during a
+	// window (partition-local appends, no locking); the kernel's round
+	// barrier flushes them — sorted by completion time — into e.records
+	// and the OnCut/OnRecord callbacks.
+	nparts   int
+	pendRecs [][]ckpt.Record
+	pendCuts [][]Cut
 }
 
 // Span is a [From, To) interval of virtual time.
@@ -172,7 +191,25 @@ func NewEngine(w *mpi.World, cfg Config) *Engine {
 	if cfg.Store == nil {
 		cfg.Store = cluster.LocalDisk{}
 	}
-	e := &Engine{w: w, cfg: cfg}
+	e := &Engine{w: w, cfg: cfg, nparts: 1}
+	if cfg.Partitions != nil {
+		if len(cfg.Partitions) != w.N {
+			panic("core: partition map size does not match world")
+		}
+		for _, p := range cfg.Partitions {
+			if p >= e.nparts {
+				e.nparts = p + 1
+			}
+		}
+	}
+	if e.nparts > 1 {
+		if cfg.Archive != nil {
+			panic("core: Archive is not supported on a partitioned engine")
+		}
+		e.pendRecs = make([][]ckpt.Record, e.nparts)
+		e.pendCuts = make([][]Cut, e.nparts)
+		w.K.OnBarrier(e.flushPending)
+	}
 	for _, r := range w.Ranks {
 		st := &rankState{
 			r:       r,
@@ -188,11 +225,19 @@ func NewEngine(w *mpi.World, cfg Config) *Engine {
 	w.Hooks = e
 	for _, st := range e.states {
 		st := st
-		w.K.SpawnDaemon(fmt.Sprintf("ckptd%d", st.r.ID), func(p *sim.Proc) {
+		w.K.SpawnDaemonIn(e.part(st.r.ID), fmt.Sprintf("ckptd%d", st.r.ID), func(p *sim.Proc) {
 			e.daemon(st, p)
 		})
 	}
 	return e
+}
+
+// part returns the kernel partition rank runs in (0 on a serial engine).
+func (e *Engine) part(rank int) int {
+	if e.cfg.Partitions == nil {
+		return 0
+	}
+	return e.cfg.Partitions[rank]
 }
 
 // Name identifies the engine configuration in reports.
@@ -314,7 +359,11 @@ func (e *Engine) checkpoint(st *rankState, p *sim.Proc, epoch, replyTo int) {
 	// send, receive-completion, or compute-slice boundary). The freeze
 	// instant jitters per rank: signal delivery is not instantaneous.
 	if e.cfg.SignalJitter > 0 {
-		p.Hold(sim.Time(e.w.K.Rand().Int63n(int64(e.cfg.SignalJitter))))
+		// Draw from the rank's partition stream: PartRand(0) is the
+		// master stream, so a serial engine is bit-identical to the
+		// classic draw order.
+		rng := e.w.K.PartRand(e.part(r.ID))
+		p.Hold(sim.Time(rng.Int63n(int64(e.cfg.SignalJitter))))
 	}
 	r.Gate.Close()
 	r.SendGate.Close()
@@ -384,7 +433,12 @@ func (e *Engine) checkpoint(st *rankState, p *sim.Proc, epoch, replyTo int) {
 			cut.InGroupSent[mem] = r.SentBytes(mem)
 			cut.InGroupRecvd[mem] = r.RecvdBytes(mem)
 		}
-		e.cfg.OnCut(cut)
+		if e.nparts > 1 {
+			pt := e.part(r.ID)
+			e.pendCuts[pt] = append(e.pendCuts[pt], cut)
+		} else {
+			e.cfg.OnCut(cut)
+		}
 	}
 	tCoord := p.Now()
 
@@ -416,11 +470,67 @@ func (e *Engine) checkpoint(st *rankState, p *sim.Proc, epoch, replyTo int) {
 		ImageBytes: snap.ImageBytes,
 		LogFlushed: flushed,
 	}
-	e.records = append(e.records, rec)
-	if e.cfg.OnRecord != nil {
-		e.cfg.OnRecord(rec)
+	if e.nparts > 1 {
+		pt := e.part(r.ID)
+		e.pendRecs[pt] = append(e.pendRecs[pt], rec)
+	} else {
+		e.records = append(e.records, rec)
+		if e.cfg.OnRecord != nil {
+			e.cfg.OnRecord(rec)
+		}
 	}
 	r.CtrlSend(p, replyTo, tagCkptDoneBase+epoch, doneBytes, epoch)
+}
+
+// flushPending runs at every kernel round barrier (all partitions
+// quiesced): it drains the per-partition record and cut buffers into the
+// engine's record list and the OnCut/OnRecord callbacks, sorted by
+// completion time with (epoch, rank) tie-breaks — a total order that
+// depends only on the simulation, never on worker scheduling.
+func (e *Engine) flushPending() {
+	var cuts []Cut
+	for pt := range e.pendCuts {
+		cuts = append(cuts, e.pendCuts[pt]...)
+		e.pendCuts[pt] = e.pendCuts[pt][:0]
+	}
+	if len(cuts) > 0 {
+		sort.Slice(cuts, func(i, j int) bool {
+			a, b := &cuts[i], &cuts[j]
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			if a.Epoch != b.Epoch {
+				return a.Epoch < b.Epoch
+			}
+			return a.Rank < b.Rank
+		})
+		for _, c := range cuts {
+			e.cfg.OnCut(c)
+		}
+	}
+	var recs []ckpt.Record
+	for pt := range e.pendRecs {
+		recs = append(recs, e.pendRecs[pt]...)
+		e.pendRecs[pt] = e.pendRecs[pt][:0]
+	}
+	if len(recs) > 0 {
+		sort.Slice(recs, func(i, j int) bool {
+			a, b := &recs[i], &recs[j]
+			if a.End != b.End {
+				return a.End < b.End
+			}
+			if a.Epoch != b.Epoch {
+				return a.Epoch < b.Epoch
+			}
+			return a.Rank < b.Rank
+		})
+		e.records = append(e.records, recs...)
+		if e.cfg.OnRecord != nil {
+			for _, rec := range recs {
+				e.cfg.OnRecord(rec)
+			}
+		}
+	}
 }
 
 // ctrlBarrier is a dissemination barrier over the control plane.

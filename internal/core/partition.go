@@ -1,0 +1,43 @@
+package core
+
+import "repro/internal/group"
+
+// PartitionPlan maps each rank to a kernel partition by chunking the
+// formation's checkpoint groups, in group order, into at most maxParts
+// contiguous partitions balanced by rank count. A group is never split
+// across partitions — that is the whole point: intra-group traffic (the
+// bookmark exchange, the drain, the dissemination barrier, and the bulk of
+// application communication under the paper's locality thesis) stays inside
+// one partition, so the only cross-partition events are inter-group sends,
+// which already flow through the message log and always cross the network.
+//
+// The plan is a pure function of the formation: it never depends on worker
+// count, so the partition schedule — and therefore the simulation output —
+// is reproducible. Groups are ordered by smallest member (a formation
+// invariant), so rank 0's group lands in partition 0, where the controller
+// runs.
+func PartitionPlan(f group.Formation, maxParts int) (partOf []int, nparts int) {
+	if maxParts < 1 {
+		maxParts = 1
+	}
+	if ng := len(f.Groups); maxParts > ng {
+		maxParts = ng
+	}
+	partOf = make([]int, f.N)
+	if maxParts <= 1 {
+		return partOf, 1
+	}
+	target := (f.N + maxParts - 1) / maxParts
+	part, count := 0, 0
+	for _, g := range f.Groups {
+		if count > 0 && count+len(g) > target && part < maxParts-1 {
+			part++
+			count = 0
+		}
+		for _, r := range g {
+			partOf[r] = part
+		}
+		count += len(g)
+	}
+	return partOf, part + 1
+}

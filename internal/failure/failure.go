@@ -29,10 +29,12 @@ type Probe struct {
 }
 
 // Arm schedules the capture at t on a world. Call before the kernel runs.
+// The capture is a global (barrier-synchronized) event, so it reads a
+// consistent cross-rank state even on a partitioned kernel.
 func (pr *Probe) Arm(w *mpi.World, t sim.Time) {
 	pr.At = t
 	pr.armed = true
-	w.K.At(t, func() {
+	w.K.GlobalAt(t, func() {
 		n := w.N
 		pr.SentTo = make([][]int64, n)
 		pr.Recvd = make([][]int64, n)

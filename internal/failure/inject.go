@@ -65,8 +65,13 @@ func NewInjector(w *mpi.World, f group.Formation, src StateSource, proc Process,
 
 // Arm schedules the first failure. Call after the engine is installed and
 // before the kernel runs.
+//
+// Failures are global (barrier-synchronized) events: on a partitioned
+// kernel they fire only once every partition has consumed all events
+// strictly before the failure instant, so evaluate reads the same
+// fully-quiesced state a serial run would — at any worker count.
 func (inj *Injector) Arm() {
-	inj.w.K.After(inj.proc.NextGap(inj.rng), inj.fire)
+	inj.w.K.GlobalAfter(inj.proc.NextGap(inj.rng), inj.fire)
 }
 
 // Outcomes returns the evaluated failures in arrival order.
@@ -83,7 +88,7 @@ func (inj *Injector) fire() {
 	if inj.OnOutcome != nil {
 		inj.OnOutcome(out)
 	}
-	inj.w.K.After(inj.proc.NextGap(inj.rng), inj.fire)
+	inj.w.K.GlobalAfter(inj.proc.NextGap(inj.rng), inj.fire)
 }
 
 func (inj *Injector) allFinished() bool {

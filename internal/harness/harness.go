@@ -99,7 +99,32 @@ type Spec struct {
 	FailureSeed int64
 	// MaxFailures caps injected failures (0 = failure.DefaultMaxFailures).
 	MaxFailures int
+
+	// RunWorkers bounds how many kernel partitions of this one run execute
+	// concurrently (0 or 1 = serial). The run's output is byte-identical
+	// at every setting — worker count changes wall-clock time only. It
+	// takes effect only when the run is actually partitioned; see
+	// PartitionMinRanks.
+	RunWorkers int
+
+	// PartitionMinRanks sets the minimum world size at which the kernel is
+	// partitioned by checkpoint group (0 = DefaultPartitionMinRanks;
+	// negative = never partition). Partitioning changes the simulated
+	// interleaving slightly (receiver NICs book transfers in arrival-time
+	// rather than send-time order across partition edges), so the
+	// threshold — not the worker count — is part of a run's identity.
+	PartitionMinRanks int
 }
+
+// DefaultPartitionMinRanks is the world size at which Run starts
+// partitioning the kernel by checkpoint group. Below it, coordination
+// overhead outweighs the parallelism and runs stay on the classic serial
+// kernel, byte-identical to historical output.
+const DefaultPartitionMinRanks = 1024
+
+// MaxPartitions caps how many sub-kernels a run is split into. More
+// partitions than cores only adds lookahead-window bookkeeping.
+const MaxPartitions = 64
 
 // Result collects everything a run produced.
 type Result struct {
@@ -169,6 +194,8 @@ func (s *Spec) validate() error {
 		return fmt.Errorf("harness: %w: negative Horizon %v", ErrBadSpec, s.Horizon)
 	case s.MaxFailures < 0:
 		return fmt.Errorf("harness: %w: negative MaxFailures %d", ErrBadSpec, s.MaxFailures)
+	case s.RunWorkers < 0:
+		return fmt.Errorf("harness: %w: negative RunWorkers %d", ErrBadSpec, s.RunWorkers)
 	case s.Sched.At < 0 || s.Sched.Start < 0 || s.Sched.Interval < 0 || s.Sched.MaxCount < 0:
 		return fmt.Errorf("harness: %w: negative checkpoint schedule %+v", ErrBadSpec, s.Sched)
 	case s.FailureProc != nil && (s.Mode == VCL || s.Mode == None):
@@ -245,6 +272,16 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		w.Tracer = tracers
 	}
 
+	// Intra-run parallelism: at scale, partition the kernel by checkpoint
+	// group with the network latency as conservative lookahead. Eligibility
+	// is a pure function of the spec, never of worker count, so output is
+	// reproducible; see PartitionMinRanks for why small runs stay serial.
+	// Remote storage shares server resources across all ranks, and VCL/None
+	// run no group engine — both stay serial. Tracer-armed runs keep the
+	// partitioned schedule but execute windows one at a time: tracers are
+	// unsynchronized, and observation must not change the table.
+	partMap := partitionRun(spec, f, n, k, w, len(tracers) > 0)
+
 	var store cluster.Storage = cluster.LocalDisk{}
 	if spec.RemoteServers > 0 {
 		rs := cluster.NewRemoteStore(w.C, spec.RemoteServers, spec.ServerNIC, spec.ServerDisk)
@@ -309,6 +346,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		cfg.Store = store
 		cfg.OnCut = env.cutHook()
 		cfg.OnRecord = env.recordHook()
+		cfg.Partitions = partMap
 		e := core.NewEngine(w, cfg)
 		schedule(e.ScheduleAt, e.SchedulePeriodic)
 		var inj *failure.Injector
@@ -355,6 +393,34 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		obs.AfterRun(res)
 	}
 	return res, nil
+}
+
+// partitionRun decides whether the run is partitioned and, if so, installs
+// the plan on the kernel and world, returning the rank→partition map for
+// the engine (nil when serial). Must run after the world is built and
+// before any process is spawned.
+func partitionRun(spec Spec, f group.Formation, n int, k *sim.Kernel, w *mpi.World, traced bool) []int {
+	minRanks := spec.PartitionMinRanks
+	if minRanks == 0 {
+		minRanks = DefaultPartitionMinRanks
+	}
+	if minRanks < 0 || n < minRanks ||
+		spec.Mode == VCL || spec.Mode == None ||
+		spec.RemoteServers > 0 || spec.Cluster.Latency <= 0 {
+		return nil
+	}
+	partOf, nparts := core.PartitionPlan(f, MaxPartitions)
+	if nparts <= 1 {
+		return nil
+	}
+	k.SetPartitions(nparts, spec.Cluster.Latency)
+	w.SetPartitions(partOf, nparts)
+	workers := spec.RunWorkers
+	if traced {
+		workers = 1
+	}
+	k.SetRunWorkers(workers)
+	return partOf
 }
 
 // Restart simulates a whole-application restart from the run's latest

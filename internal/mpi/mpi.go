@@ -96,16 +96,43 @@ type World struct {
 	// checkpoints lock faster but cost more simulation events.
 	SliceSeconds float64
 
-	// freeMsgs is the envelope free list. The kernel runs one process at
-	// a time, so no locking is needed; parallel sweeps use one world per
-	// run.
-	freeMsgs []*Msg
+	// Partition map (SetPartitions): partOf[rank] is the kernel partition
+	// each rank runs in; nil/nparts ≤ 1 is the classic serial world.
+	partOf []int
+	nparts int
+
+	// shards holds the envelope free list and message-path accounting,
+	// one shard per partition. Shard p is touched only from partition p's
+	// execution context (senders pool from their own shard; receivers
+	// free into theirs), so no locking is needed even mid-round —
+	// exactly the old single-list invariant, per partition.
+	shards []shard
+
 	// arrive is the pre-bound delivery handler passed to sim.Kernel.At1,
 	// built once so the per-message schedule allocates nothing.
-	arrive func(any)
+	// arriveRemote is its cross-partition prologue: it fires in the
+	// destination partition at wire-available time and books the
+	// receiver-side NIC there (the half of Transfer the sender's
+	// partition must not touch).
+	arrive       func(any)
+	arriveRemote func(any)
 
-	stats   Stats
+	// Rank-finish accounting for partitioned runs: finCount[p] is written
+	// only from partition p; the round barrier folds it into finDone,
+	// giving readers in any partition a stable, deterministic
+	// "all ranks finished as of the last round" view (AllFinishedView).
+	finCount []int
+	finDone  int
+
 	metrics *Metrics // nil unless observing; see SetMetrics
+}
+
+// shard is one partition's slice of the world's mutable shared state,
+// padded out to its own cache line so partitions never false-share.
+type shard struct {
+	stats Stats
+	free  []*Msg
+	_     [64]byte
 }
 
 // Stats is the world's message-path accounting, maintained unconditionally
@@ -124,11 +151,70 @@ type Stats struct {
 	FreeLen     int // current free-list depth (filled by World.Stats)
 }
 
-// Stats returns a snapshot of the world's message-path accounting.
+// Stats returns a snapshot of the world's message-path accounting, summed
+// across partition shards. The free-list identity FreeLen == PoolFreed −
+// PoolReused holds on the sum: every Free pushes an envelope into exactly
+// one shard and every reuse pops from exactly one.
 func (w *World) Stats() Stats {
-	s := w.stats
-	s.FreeLen = len(w.freeMsgs)
+	var s Stats
+	for i := range w.shards {
+		sh := &w.shards[i]
+		s.Sends += sh.stats.Sends
+		s.Delivered += sh.stats.Delivered
+		s.Consumed += sh.stats.Consumed
+		s.PoolCreated += sh.stats.PoolCreated
+		s.PoolReused += sh.stats.PoolReused
+		s.PoolFreed += sh.stats.PoolFreed
+		s.DoubleFrees += sh.stats.DoubleFrees
+		s.FreeLen += len(sh.free)
+	}
 	return s
+}
+
+// part returns the kernel partition rank runs in (0 on a serial world).
+func (w *World) part(rank int) int {
+	if w.partOf == nil {
+		return 0
+	}
+	return w.partOf[rank]
+}
+
+// SetPartitions installs the rank→partition map, matching a prior
+// kernel-side SetPartitions. Call before Launch; partOf must map every rank
+// to [0, nparts). nparts ≤ 1 (or not calling at all) keeps the serial world.
+func (w *World) SetPartitions(partOf []int, nparts int) {
+	if nparts <= 1 {
+		return
+	}
+	if len(partOf) != w.N {
+		panic("mpi: partition map length != world size")
+	}
+	w.partOf, w.nparts = partOf, nparts
+	w.shards = make([]shard, nparts)
+	w.finCount = make([]int, nparts)
+	w.K.OnBarrier(func() {
+		n := 0
+		for _, c := range w.finCount {
+			n += c
+		}
+		w.finDone = n
+	})
+}
+
+// AllFinishedView reports whether every rank's application body has
+// returned. On a serial world it reads the live flags; on a partitioned one
+// it reads the count committed at the last round barrier — stable within a
+// window, race-free, and worker-count independent (the round structure is).
+func (w *World) AllFinishedView() bool {
+	if w.nparts <= 1 {
+		for _, r := range w.Ranks {
+			if !r.Finished {
+				return false
+			}
+		}
+		return true
+	}
+	return w.finDone == w.N
 }
 
 // Queued returns the messages still sitting unmatched in application and
@@ -199,8 +285,17 @@ func NewWorld(k *sim.Kernel, c *cluster.Cluster, n int) *World {
 	if n > len(c.Nodes) {
 		panic("mpi: more ranks than cluster nodes")
 	}
-	w := &World{K: k, C: c, N: n, SliceSeconds: 0.25}
+	w := &World{K: k, C: c, N: n, SliceSeconds: 0.25, shards: make([]shard, 1)}
 	w.arrive = func(v any) { w.deliverArrived(v.(*Msg)) }
+	w.arriveRemote = func(v any) {
+		// Fires in the destination's partition at wire-available time:
+		// book the receiver-side NIC here and schedule the arrival.
+		m := v.(*Msg)
+		d := w.Ranks[m.Dst]
+		dp := w.partOf[m.Dst]
+		arr := w.C.RecvSide(d.Node, w.K.PartNow(dp), m.Bytes)
+		w.K.PartAt1(dp, arr, w.arrive, m)
+	}
 	for i := 0; i < n; i++ {
 		r := &Rank{
 			W:        w,
@@ -216,17 +311,19 @@ func NewWorld(k *sim.Kernel, c *cluster.Cluster, n int) *World {
 	return w
 }
 
-// newMsg returns a zeroed envelope from the free list (or the heap).
-func (w *World) newMsg() *Msg {
-	if n := len(w.freeMsgs); n > 0 {
-		m := w.freeMsgs[n-1]
-		w.freeMsgs[n-1] = nil
-		w.freeMsgs = w.freeMsgs[:n-1]
+// newMsg returns a zeroed envelope from the sending partition's free list
+// (or the heap).
+func (w *World) newMsg(part int) *Msg {
+	sh := &w.shards[part]
+	if n := len(sh.free); n > 0 {
+		m := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
 		m.pooled = false
-		w.stats.PoolReused++
+		sh.stats.PoolReused++
 		return m
 	}
-	w.stats.PoolCreated++
+	sh.stats.PoolCreated++
 	return new(Msg)
 }
 
@@ -236,24 +333,33 @@ func (w *World) newMsg() *Msg {
 // already in the pool is a bug; it is recorded in Stats.DoubleFrees and the
 // envelope is not pushed a second time.
 func (w *World) Free(m *Msg) {
+	// The freeing context is the receiver's: envelopes are freed after
+	// Recv, so shard by the destination's partition — read before the
+	// envelope is cleared.
+	sh := &w.shards[w.part(m.Dst)]
 	if m.pooled {
-		w.stats.DoubleFrees++
+		sh.stats.DoubleFrees++
 		return
 	}
 	*m = Msg{pooled: true}
-	w.stats.PoolFreed++
-	w.freeMsgs = append(w.freeMsgs, m)
+	sh.stats.PoolFreed++
+	sh.free = append(sh.free, m)
 }
 
-// Launch spawns one application process per rank running body and records
-// per-rank finish times. The caller then runs the kernel.
+// Launch spawns one application process per rank (into its partition, when
+// partitioned) running body and records per-rank finish times. The caller
+// then runs the kernel.
 func (w *World) Launch(body func(r *Rank)) {
 	for _, r := range w.Ranks {
 		r := r
-		r.Proc = w.K.Spawn(fmt.Sprintf("rank%d", r.ID), func(p *sim.Proc) {
+		part := w.part(r.ID)
+		r.Proc = w.K.SpawnIn(part, fmt.Sprintf("rank%d", r.ID), func(p *sim.Proc) {
 			body(r)
 			r.FinishTime = p.Now()
 			r.Finished = true
+			if w.finCount != nil {
+				w.finCount[part]++
+			}
 		})
 	}
 }
@@ -357,5 +463,5 @@ func (r *Rank) ForEachPeer(f func(peer int, sent, appRecvd int64)) {
 	}
 }
 
-// Now returns the current virtual time.
-func (r *Rank) Now() sim.Time { return r.W.K.Now() }
+// Now returns the current virtual time of the rank's partition.
+func (r *Rank) Now() sim.Time { return r.W.K.PartNow(r.W.part(r.ID)) }

@@ -10,7 +10,8 @@ func (r *Rank) Send(dst, tag int, bytes int64, payload any) {
 	p := r.Proc
 	r.Gate.Pass(p)
 	r.SendGate.Pass(p)
-	m := r.W.newMsg()
+	sp := r.W.part(r.ID)
+	m := r.W.newMsg(sp)
 	m.Src, m.Dst, m.Tag = r.ID, dst, tag
 	m.Bytes, m.Payload = bytes, payload
 	m.SendTime = r.Now()
@@ -23,7 +24,7 @@ func (r *Rank) Send(dst, tag int, bytes int64, payload any) {
 		tr.Send(r.Now(), m.Src, m.Dst, m.Tag, m.Bytes)
 	}
 	r.addSent(dst, bytes)
-	r.W.stats.Sends++
+	r.W.shards[sp].stats.Sends++
 	if mm := r.W.metrics; mm != nil {
 		mm.Sends.Inc()
 		mm.SendBytes.Add(bytes)
@@ -32,10 +33,25 @@ func (r *Rank) Send(dst, tag int, bytes int64, payload any) {
 }
 
 // deliver pushes m through the network and schedules its arrival via the
-// world's pre-bound handler (no per-message closure).
+// world's pre-bound handlers (no per-message closure). Within a partition
+// this is the classic path; across a partition edge the sender books only
+// its own NIC and stages the message for the destination partition at
+// wire-available time — which, by construction, is at least one network
+// latency in the future, satisfying the kernel's lookahead contract.
 func (r *Rank) deliver(p *sim.Proc, m *Msg) {
 	w := r.W
 	d := w.Ranks[m.Dst]
+	if w.nparts > 1 {
+		sp, dp := w.partOf[r.ID], w.partOf[m.Dst]
+		if sp != dp {
+			avail := w.C.SendSide(p, r.Node, m.Bytes)
+			w.K.CrossAt1(sp, dp, avail, w.arriveRemote, m)
+			return
+		}
+		arr := w.C.Transfer(p, r.Node, d.Node, m.Bytes)
+		w.K.PartAt1(dp, arr, w.arrive, m)
+		return
+	}
 	arr := w.C.Transfer(p, r.Node, d.Node, m.Bytes)
 	w.K.At1(arr, w.arrive, m)
 }
@@ -45,9 +61,10 @@ func (r *Rank) deliver(p *sim.Proc, m *Msg) {
 // the message for the application.
 func (w *World) deliverArrived(m *Msg) {
 	d := w.Ranks[m.Dst]
-	m.ArriveTime = w.K.Now()
+	dp := w.part(m.Dst)
+	m.ArriveTime = w.K.PartNow(dp)
 	if !m.Ctrl {
-		w.stats.Delivered++
+		w.shards[dp].stats.Delivered++
 		d.RecvdCounter(m.Src).Add(m.Bytes)
 		if h := w.Hooks; h != nil {
 			h.OnDeliver(d, m)
@@ -82,7 +99,7 @@ func (r *Rank) Recv(src, tag int) *Msg {
 	m := r.mbox.RecvKeyed(r.Proc, src, tag).(*Msg)
 	r.Gate.Pass(r.Proc)
 	r.addAppRecvd(m.Src, m.Bytes)
-	r.W.stats.Consumed++
+	r.W.shards[r.W.part(r.ID)].stats.Consumed++
 	if mm := r.W.metrics; mm != nil {
 		mm.Consumed.Inc()
 	}

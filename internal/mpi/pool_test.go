@@ -26,7 +26,7 @@ func TestEnvelopePoolRecycles(t *testing.T) {
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if len(w.freeMsgs) == 0 {
+	if w.Stats().FreeLen == 0 {
 		t.Error("free list empty after Sendrecv recycling")
 	}
 	if got == nil || got.Bytes != 77 || got.Payload != "fresh" || got.Tag != 2 {

@@ -34,6 +34,26 @@ func BenchmarkScenario4096(b *testing.B) {
 	}
 }
 
+// BenchmarkScenario16384Parallel is BenchmarkScenario16384 with the cell's
+// own event loop spread across 8 worker threads: at 16384 ranks the kernel
+// splits the world into group-based partitions, and RunWorkers lets them
+// advance concurrently between lookahead barriers. The output is
+// byte-identical to the serial run (TestScale64kQuickWorkerIdentity pins
+// that), so the ratio of this benchmark to BenchmarkScenario16384 is pure
+// speedup — on a multi-core host it should be well under 1×; on a
+// single-core host it measures the round-barrier overhead instead.
+func BenchmarkScenario16384Parallel(b *testing.B) {
+	s, ok := BuiltIn("scale16k")
+	if !ok {
+		b.Fatal("scale16k built-in missing")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunObserved(context.Background(), 0, Instrument{RunWorkers: 8}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScenario16384 runs the scale16k built-in profile: one
 // 16384-rank cell with stochastic failures — 128× the paper's peak scale.
 // This is the ceiling the direct-handoff scheduler, the pooled message

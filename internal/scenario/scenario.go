@@ -40,6 +40,16 @@ type Instrument struct {
 	// Metrics attaches a fresh MetricsObserver to every cell, so each
 	// Result carries a per-cell online-metrics snapshot.
 	Metrics bool
+	// RunWorkers bounds how many kernel partitions execute concurrently
+	// inside each cell (0 or 1 = serial). Cell output is byte-identical
+	// at every setting; it composes with sweep-level cell concurrency.
+	RunWorkers int
+	// PartitionMinRanks overrides the world size at which a cell's kernel
+	// is partitioned (0 = harness.DefaultPartitionMinRanks; negative =
+	// never). Unlike RunWorkers it affects the simulated interleaving —
+	// it exists for the determinism oracle and partition-path tests, which
+	// force partitioning onto small worlds.
+	PartitionMinRanks int
 }
 
 // Cell identifies one run of the sweep: the matrix key (scale, mode, rep)
@@ -99,16 +109,18 @@ func (s *Spec) RunCell(ctx context.Context, c Cell, ins Instrument) (*harness.Re
 		return nil, err
 	}
 	spec := harness.Spec{
-		WL:            s.Workload.Build(c.Scale),
-		Mode:          harness.Mode(c.Mode),
-		Seed:          c.Seed,
-		Cluster:       clusterCfg,
-		Sched:         s.Checkpoint.schedule(),
-		GroupMax:      s.GroupMax,
-		RemoteServers: s.RemoteServers,
-		RemoteAsync:   s.RemoteAsync,
-		Observers:     ins.observers(c.Scale),
-		Horizon:       sim.Seconds(ins.HorizonS),
+		WL:                s.Workload.Build(c.Scale),
+		Mode:              harness.Mode(c.Mode),
+		Seed:              c.Seed,
+		Cluster:           clusterCfg,
+		Sched:             s.Checkpoint.schedule(),
+		GroupMax:          s.GroupMax,
+		RemoteServers:     s.RemoteServers,
+		RemoteAsync:       s.RemoteAsync,
+		Observers:         ins.observers(c.Scale),
+		Horizon:           sim.Seconds(ins.HorizonS),
+		RunWorkers:        ins.RunWorkers,
+		PartitionMinRanks: ins.PartitionMinRanks,
 	}
 	if s.Failures != nil {
 		spec.FailureProc = s.Failures.process()
@@ -267,6 +279,22 @@ var builtins = map[string]string{
 		"cluster": {"profile": "modern"},
 		"workload": {"kind": "synthetic", "iters": 30, "mflopsPerIter": 3000},
 		"scales": [16384],
+		"modes": ["GP1"],
+		"checkpoint": {"intervalS": 2},
+		"failures": {"process": "poisson", "mtbfS": 2},
+		"reps": 1,
+		"seed": 1
+	}`,
+	// scale64k: 512× the paper's peak scale — the regime the partitioned
+	// kernel exists for. A 65536-rank world splits into 64 group-partitioned
+	// sub-kernels; run it with Instrument.RunWorkers (or gbexp/gbd
+	// runWorkers) to spread one cell across cores, byte-identically.
+	"scale64k": `{
+		"name": "scale64k",
+		"notes": "65536 ranks; one run spread across cores by the group-partitioned kernel",
+		"cluster": {"profile": "modern"},
+		"workload": {"kind": "synthetic", "iters": 10, "mflopsPerIter": 3000},
+		"scales": [65536],
 		"modes": ["GP1"],
 		"checkpoint": {"intervalS": 2},
 		"failures": {"process": "poisson", "mtbfS": 2},

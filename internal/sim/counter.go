@@ -40,7 +40,7 @@ func (c *Counter) Add(n int64) {
 	kept := c.waiters[:0]
 	for _, w := range c.waiters {
 		if c.v >= w.target {
-			c.k.scheduleWake(c.k.now, w.p)
+			w.p.pt.scheduleWake(w.p.pt.now, w.p)
 		} else {
 			kept = append(kept, w)
 		}

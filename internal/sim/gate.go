@@ -30,7 +30,7 @@ func (g *Gate) Close() { g.closed = true }
 func (g *Gate) Open() {
 	g.closed = false
 	for _, p := range g.waiters {
-		g.k.scheduleWake(g.k.now, p)
+		p.pt.scheduleWake(p.pt.now, p)
 	}
 	g.waiters = nil
 }

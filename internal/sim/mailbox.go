@@ -74,7 +74,10 @@ func (m *Mailbox) PutKeyed(v any, a, b int) {
 		if w.matches(&it) {
 			w.got, w.ok = v, true
 			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
-			m.k.scheduleWake(m.k.now, w.p)
+			// Wake through the waiter's own partition: a mailbox is only
+			// ever touched from its owner's partition, but the indirection
+			// keeps the primitive partition-agnostic.
+			w.p.pt.scheduleWake(w.p.pt.now, w.p)
 			return
 		}
 	}

@@ -13,6 +13,13 @@ type Metrics struct {
 	// QueueDepth samples the event-queue length at every step
 	// (sim_queue_depth): its percentiles bound the heap's working set.
 	QueueDepth *metrics.Histogram
+	// Partitions reports the kernel's partition count (sim_partitions):
+	// 1 for a serial run, the sub-kernel count for a partitioned one.
+	Partitions *metrics.Gauge
+	// LookaheadStalls counts rounds a nonempty partition sat out because
+	// the conservative bound held it back (sim_lookahead_stalls_total) —
+	// the coordination cost of the partitioned schedule.
+	LookaheadStalls *metrics.Counter
 }
 
 // NewMetrics registers the kernel's instruments on c. Names are stable
@@ -20,8 +27,10 @@ type Metrics struct {
 // OBSERVABILITY.md reference table.
 func NewMetrics(c *metrics.Collector) *Metrics {
 	return &Metrics{
-		Events:     c.Counter("sim_events_total", "events", "kernel events processed"),
-		QueueDepth: c.Histogram("sim_queue_depth", "events", "event-queue depth at each step"),
+		Events:          c.Counter("sim_events_total", "events", "kernel events processed"),
+		QueueDepth:      c.Histogram("sim_queue_depth", "events", "event-queue depth at each step"),
+		Partitions:      c.Gauge("sim_partitions", "partitions", "kernel partitions in the current run"),
+		LookaheadStalls: c.Counter("sim_lookahead_stalls_total", "stalls", "partitions held back a round by the conservative lookahead bound"),
 	}
 }
 

@@ -1,13 +1,13 @@
 package sim
 
-// Proc is a simulated process. Exactly one Proc executes at any instant; a
-// Proc runs until it calls a blocking primitive (Hold, Mailbox.Recv,
-// Resource.Use, Gate.Pass, Counter.AwaitAtLeast), at which point it runs the
-// event loop itself and hands control directly to the next runnable process
-// (see Kernel).
+// Proc is a simulated process. Within a partition, exactly one Proc executes
+// at any instant; a Proc runs until it calls a blocking primitive (Hold,
+// Mailbox.Recv, Resource.Use, Gate.Pass, Counter.AwaitAtLeast), at which
+// point it runs its partition's event loop itself and hands control directly
+// to the next runnable process (see Kernel).
 type Proc struct {
-	k       *Kernel
-	id      int
+	pt      *partition
+	id      int // index within the partition, spawn order
 	name    string
 	resume  chan struct{}
 	token   uint64 // wake token; advanced on every resume
@@ -26,17 +26,20 @@ type Proc struct {
 // Daemon reports whether the process was spawned with SpawnDaemon.
 func (p *Proc) Daemon() bool { return p.daemon }
 
-// ID returns the process's kernel-assigned id (spawn order).
+// ID returns the process's id (spawn order within its partition).
 func (p *Proc) ID() int { return p.id }
 
 // Name returns the process's name.
 func (p *Proc) Name() string { return p.name }
 
 // Kernel returns the kernel this process runs under.
-func (p *Proc) Kernel() *Kernel { return p.k }
+func (p *Proc) Kernel() *Kernel { return p.pt.k }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.k.now }
+// Part returns the partition this process runs in (0 on a serial kernel).
+func (p *Proc) Part() int { return p.pt.id }
+
+// Now returns the process's partition's current virtual time.
+func (p *Proc) Now() Time { return p.pt.now }
 
 // State returns the process's current blocked-state description.
 func (p *Proc) State() string { return p.state }
@@ -55,10 +58,10 @@ func (p *Proc) Done() bool { return p.done }
 func (p *Proc) block(state string) {
 	p.state = state
 	p.blocked = true
-	if !p.k.dispatch(p) {
+	if !p.pt.dispatch(p) {
 		<-p.resume
 	}
-	if p.k.dying {
+	if p.pt.k.dying {
 		// Resumed by Kernel.Shutdown: unwind this goroutine instead of
 		// continuing the (finished) simulation. Recovered in the spawn
 		// wrapper.
@@ -74,15 +77,15 @@ func (p *Proc) Hold(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.scheduleWake(p.k.now+d, p)
+	p.pt.scheduleWake(p.pt.now+d, p)
 	p.block("hold")
 }
 
 // HoldUntil blocks until virtual time t (no-op if t is in the past).
 func (p *Proc) HoldUntil(t Time) {
-	if t <= p.k.now {
+	if t <= p.pt.now {
 		return
 	}
-	p.k.scheduleWake(t, p)
+	p.pt.scheduleWake(t, p)
 	p.block("holdUntil")
 }

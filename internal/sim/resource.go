@@ -58,9 +58,11 @@ func (r *Resource) ReserveAt(t Time, n int64) Time {
 	return r.freeAt
 }
 
-// Reserve books n bytes of service starting now (or when the server frees
-// up) and returns the completion time. It never blocks.
-func (r *Resource) Reserve(n int64) Time { return r.ReserveAt(r.k.now, n) }
+// Reserve books n bytes of service starting at the kernel clock (or when
+// the server frees up) and returns the completion time. It never blocks.
+// During a partitioned run, use ReserveAt with the caller's partition time
+// instead — the kernel-wide clock is not meaningful mid-window.
+func (r *Resource) Reserve(n int64) Time { return r.ReserveAt(r.k.Now(), n) }
 
 // BlockUntil keeps the resource busy until at least t (backpressure: a
 // streaming transfer occupies the local NIC until the remote side has
@@ -75,8 +77,8 @@ func (r *Resource) BlockUntil(t Time) {
 // Use books n bytes of service and blocks p until the request completes,
 // returning the completion time.
 func (r *Resource) Use(p *Proc, n int64) Time {
-	end := r.Reserve(n)
-	p.k.scheduleWake(end, p)
+	end := r.ReserveAt(p.pt.now, n)
+	p.pt.scheduleWake(end, p)
 	p.block(r.useState)
 	return end
 }
@@ -84,14 +86,14 @@ func (r *Resource) Use(p *Proc, n int64) Time {
 // UseDur occupies the resource for a fixed duration d (independent of rate)
 // and blocks p until it completes. Useful for seek times or fixed overheads.
 func (r *Resource) UseDur(p *Proc, d Time) Time {
-	t := p.k.now
+	t := p.pt.now
 	if t < r.freeAt {
 		t = r.freeAt
 	}
 	end := t + d
 	r.freeAt = end
 	r.busy += d
-	p.k.scheduleWake(end, p)
+	p.pt.scheduleWake(end, p)
 	p.block(r.useState)
 	return end
 }

@@ -3,6 +3,7 @@ package simcheck
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -22,6 +23,10 @@ type CheckConfig struct {
 	// byte-identical-across-worker-counts invariant), roughly halving the
 	// oracle's cost. The per-cell invariants still run.
 	SkipDeterminism bool
+	// SkipRunWorkers drops the partitioned-kernel sweep (the
+	// byte-identical-across-run-worker-counts invariant), which re-runs
+	// the scenario three more times with partitioning forced on.
+	SkipRunWorkers bool
 	// TraceLimit caps the scale at which the full record tracer rides
 	// along for the CommMatrix ≡ Recorder cross-check (its memory scales
 	// with message count). 0 selects 256 ranks.
@@ -83,7 +88,12 @@ func (r *Report) Ok() bool { return len(r.Violations) == 0 }
 //   - determinism: the rendered table is byte-identical between the
 //     instrumented parallel sweep and an uninstrumented serial re-run —
 //     observation never perturbs the simulation, and worker count and
-//     repetition never change results.
+//     repetition never change results;
+//   - partitioned-kernel determinism: with the group-partitioned kernel
+//     forced onto the generated worlds (PartitionMinRanks 2, far below
+//     its production threshold), the rendered table is byte-identical at
+//     run-worker counts 1, 4, and NumCPU — spreading one simulation's
+//     event loop across threads never changes its output.
 //
 // A cell that fails to run (deadlock, horizon, engine error) is itself
 // reported as a violation: the oracle's verdict is always a Report.
@@ -124,7 +134,46 @@ func Check(ctx context.Context, s *scenario.Spec, cfg CheckConfig) *Report {
 				"determinism: instrumented parallel sweep and uninstrumented serial re-run render different tables")
 		}
 	}
+
+	// Partitioned-kernel determinism. The partitioned schedule may
+	// legitimately differ from the serial kernel's (cross-partition
+	// deliveries book the receiver NIC in arrival order), so the invariant
+	// is identity across run-worker counts, not against the serial table.
+	if !cfg.SkipRunWorkers {
+		var base string
+		for i, rw := range runWorkerCounts() {
+			pins := scenario.Instrument{HorizonS: cfg.horizonS(), RunWorkers: rw, PartitionMinRanks: 2}
+			t, err := s.RunObserved(ctx, 1, pins, nil)
+			if err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("liveness/run (partitioned, runWorkers=%d): %v", rw, err))
+				return rep
+			}
+			if i == 0 {
+				base = t.String()
+			} else if t.String() != base {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"determinism: partitioned sweep at runWorkers=%d renders a different table than runWorkers=1", rw))
+			}
+		}
+	}
 	return rep
+}
+
+// runWorkerCounts is the partitioned sweep's ladder: serial, a fixed
+// mid-size count, and every core — deduplicated so single-core hosts do
+// not pay for the same run twice.
+func runWorkerCounts() []int {
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	out := counts[:0]
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // checkCell verifies every per-cell invariant and returns the violations.

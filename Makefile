@@ -80,14 +80,17 @@ check-smoke:
 	$(GO) run ./cmd/gbcheck -n 100 -seed 1 -max-ranks 64
 
 # End-to-end CLI smoke: the -list inventory, one figure reproduction, then
-# the shipped example scenario diffed against its golden table. The scenario
-# engine guarantees byte-identical output at any worker count, so the diff
-# is exact.
+# the shipped example scenarios diffed against their golden tables — the
+# steady single-application sweep and the time-varying multi-job cluster
+# (bursty arrivals × bursty failures). The scenario engine guarantees
+# byte-identical output at any worker count, so the diffs are exact.
 smoke:
 	$(GO) run ./cmd/gbexp -list > /dev/null
 	$(GO) run ./cmd/gbexp -exp fig5 -quick -parallel 2 > /dev/null
 	$(GO) run ./cmd/gbexp -scenario examples/scenarios/modern-weibull.json \
 		| diff -u examples/scenarios/modern-weibull.golden -
+	$(GO) run ./cmd/gbexp -scenario examples/scenarios/cluster-burst.json -parallel 2 \
+		| diff -u examples/scenarios/cluster-burst.golden -
 	@echo smoke ok
 
 # Build AND run every example as a smoke test: the examples are the gb

@@ -72,12 +72,12 @@ func main() {
 		cells += rep.Cells
 		if rep.Ok() {
 			fmt.Printf("ok   seed=%-6d %-12s %s×%v modes=%v cells=%d\n",
-				genSeed, spec.Name, spec.Workload.Kind, spec.Scales, spec.Modes, rep.Cells)
+				genSeed, spec.Name, describe(spec), spec.Scales, spec.Modes, rep.Cells)
 			continue
 		}
 		failed++
 		fmt.Printf("FAIL seed=%-6d %-12s %s×%v modes=%v\n",
-			genSeed, spec.Name, spec.Workload.Kind, spec.Scales, spec.Modes)
+			genSeed, spec.Name, describe(spec), spec.Scales, spec.Modes)
 		for _, v := range rep.Violations {
 			fmt.Printf("     %s\n", v)
 		}
@@ -88,4 +88,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("simcheck: %d scenarios, %d cells, all invariants held\n", *n, cells)
+}
+
+// describe labels a generated spec in the per-seed line: the workload kind
+// for single-application sweeps, the job-stream shape for cluster sweeps
+// (their scales are node counts and the workloads live in the templates).
+func describe(spec *gb.Scenario) string {
+	if spec.Jobs == nil {
+		return spec.Workload.Kind
+	}
+	return fmt.Sprintf("jobs(%d·%s)", spec.Jobs.Count, spec.Jobs.Placement)
 }

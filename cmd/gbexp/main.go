@@ -58,6 +58,8 @@ func main() {
 		plot      = flag.Bool("plot", false, "also render each table as an ASCII chart")
 		cellMet   = flag.Bool("cell-metrics", false,
 			"with -scenario: stream the sweep with a per-cell metrics snapshot and print each cell's metrics (see OBSERVABILITY.md)")
+		jobDetail = flag.Bool("job-detail", false,
+			"with a jobs -scenario: print each cluster cell's per-job lifecycle table after the aggregate table")
 	)
 	flag.Parse()
 	plotTables = *plot
@@ -86,7 +88,7 @@ func main() {
 				strings.Join(clash, " "))
 			os.Exit(2)
 		}
-		if err := runScenario(ctx, *scn, *parallel, *tsv, *cellMet); err != nil {
+		if err := runScenario(ctx, *scn, *parallel, *tsv, *cellMet, *jobDetail); err != nil {
 			fmt.Fprintf(os.Stderr, "gbexp: scenario %s: %v\n", *scn, err)
 			os.Exit(1)
 		}
@@ -94,6 +96,10 @@ func main() {
 	}
 	if *cellMet {
 		fmt.Fprintln(os.Stderr, "gbexp: -cell-metrics requires -scenario (figure experiments report their own tables)")
+		os.Exit(2)
+	}
+	if *jobDetail {
+		fmt.Fprintln(os.Stderr, "gbexp: -job-detail requires a -scenario with a jobs block")
 		os.Exit(2)
 	}
 
@@ -126,7 +132,9 @@ func printList() {
 // runScenario resolves arg as a built-in profile name first, then as a spec
 // file path, and runs the sweep. With cellMetrics the sweep streams instead:
 // each cell carries a metrics snapshot, printed per cell in matrix order.
-func runScenario(ctx context.Context, arg string, workers int, tsv, cellMetrics bool) error {
+// With jobDetail each cluster cell's per-job lifecycle table follows the
+// aggregate table, also in matrix order.
+func runScenario(ctx context.Context, arg string, workers int, tsv, cellMetrics, jobDetail bool) error {
 	s, ok := gb.BuiltinScenario(arg)
 	if !ok {
 		var err error
@@ -138,12 +146,56 @@ func runScenario(ctx context.Context, arg string, workers int, tsv, cellMetrics 
 	if cellMetrics {
 		return streamCellMetrics(ctx, s, workers)
 	}
+	if jobDetail {
+		return streamJobDetail(ctx, s, workers, tsv)
+	}
 	t, err := gb.SweepTable(ctx, s, gb.WithWorkers(workers))
 	if err != nil {
 		return err
 	}
 	emit(tsv, t)
 	return nil
+}
+
+// streamJobDetail runs the sweep once, prints the aggregate table, then each
+// cluster cell's per-job table in matrix order — byte-identical at any
+// worker count, like every other gbexp mode.
+func streamJobDetail(ctx context.Context, s *gb.Scenario, workers int, tsv bool) error {
+	var cells []gb.Cell
+	for c, err := range gb.Sweep(ctx, s, gb.WithWorkers(workers)) {
+		if err != nil {
+			return err
+		}
+		cells = append(cells, c)
+	}
+	sortCells(cells)
+	sawJobs := false
+	for _, c := range cells {
+		if c.Result.Jobs == nil {
+			continue
+		}
+		sawJobs = true
+		fmt.Printf("# cell nodes=%d mode=%s rep=%d seed=%d\n", c.Scale, c.Mode, c.Rep, c.Seed)
+		emit(tsv, c.Result.Jobs.Table())
+	}
+	if !sawJobs {
+		return fmt.Errorf("-job-detail needs a scenario with a jobs block (spec %q has none)", s.Name)
+	}
+	return nil
+}
+
+// sortCells orders finished cells in matrix order (scale, mode, rep).
+func sortCells(cells []gb.Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Scale != b.Scale {
+			return a.Scale < b.Scale
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		return a.Rep < b.Rep
+	})
 }
 
 // streamCellMetrics runs the sweep with per-cell metrics armed and prints
@@ -158,16 +210,7 @@ func streamCellMetrics(ctx context.Context, s *gb.Scenario, workers int) error {
 		}
 		cells = append(cells, c)
 	}
-	sort.Slice(cells, func(i, j int) bool {
-		a, b := cells[i], cells[j]
-		if a.Scale != b.Scale {
-			return a.Scale < b.Scale
-		}
-		if a.Mode != b.Mode {
-			return a.Mode < b.Mode
-		}
-		return a.Rep < b.Rep
-	})
+	sortCells(cells)
 	for _, c := range cells {
 		fmt.Printf("# cell procs=%d mode=%s rep=%d seed=%d\n", c.Scale, c.Mode, c.Rep, c.Seed)
 		m := c.Result.Metrics

@@ -131,6 +131,20 @@ func Run(ctx context.Context, wl Workload, opts ...Option) (*Result, error) {
 	if err := cfg.apply(opts); err != nil {
 		return nil, err
 	}
+	if cfg.failurePattern != nil {
+		if cfg.spec.FailureProc == nil {
+			return nil, errBadSpec("WithFailurePattern needs a base failure process (add WithFailures)")
+		}
+		curve, err := cfg.failurePattern.Curve()
+		if err != nil {
+			return nil, errBadSpec("WithFailurePattern: %v", err)
+		}
+		mod, err := failure.NewModulated(cfg.spec.FailureProc, curve)
+		if err != nil {
+			return nil, errBadSpec("WithFailurePattern: %v", err)
+		}
+		cfg.spec.FailureProc = mod
+	}
 	cfg.spec.WL = wl
 	return harness.Run(ctx, cfg.spec)
 }

@@ -51,6 +51,16 @@ type WireFailures struct {
 	SavedSeconds      float64 `json:"savedSeconds"`
 }
 
+// WireJobs aggregates a cluster cell's job stream on the wire (specs with a
+// jobs block; execSeconds is then the cluster makespan).
+type WireJobs struct {
+	Count           int     `json:"count"`
+	Placement       string  `json:"placement"`
+	Utilization     float64 `json:"utilization"`
+	MeanWaitSeconds float64 `json:"meanWaitSeconds"`
+	MaxWaitSeconds  float64 `json:"maxWaitSeconds"`
+}
+
 // WireCell is one finished cell on the wire: its matrix coordinates and
 // seed, the engine that ran, and the run's headline figures. Rendered once
 // at compute time and cached as bytes, so cached and freshly computed
@@ -65,6 +75,7 @@ type WireCell struct {
 	Epochs      int           `json:"epochs"`
 	Events      uint64        `json:"events"`
 	Failures    *WireFailures `json:"failures,omitempty"`
+	Jobs        *WireJobs     `json:"jobs,omitempty"`
 }
 
 // RunResponse is the body of a successful POST /v1/runs.
@@ -136,6 +147,15 @@ func renderCell(c gb.CellKey, res *gb.Result) ([]byte, error) {
 			LostGlobalSeconds: t.WorkLossGlb.Seconds(),
 			ReplayBytes:       t.ReplayBytes,
 			SavedSeconds:      t.WorkSaved().Seconds(),
+		}
+	}
+	if res.Jobs != nil {
+		w.Jobs = &WireJobs{
+			Count:           len(res.Jobs.Jobs),
+			Placement:       res.Jobs.Placement,
+			Utilization:     res.Jobs.Utilization,
+			MeanWaitSeconds: res.Jobs.MeanWait.Seconds(),
+			MaxWaitSeconds:  res.Jobs.MaxWait.Seconds(),
 		}
 	}
 	b, err := marshalWire(w)

@@ -1,6 +1,10 @@
 package gb
 
-import "repro/internal/harness"
+import (
+	"repro/internal/harness"
+	"repro/internal/pattern"
+	"repro/internal/scenario"
+)
 
 // scope says which entry point an option list is being applied to: some
 // options configure a single run, some configure a sweep or a single sweep
@@ -36,6 +40,10 @@ type config struct {
 	horizonS    float64
 	cellMetrics bool
 	runWorkers  int
+	jobStream   *scenario.JobsSpec
+
+	// Run knob, applied after all options: wraps the failure process.
+	failurePattern *pattern.Spec
 }
 
 func newConfig(s scope) *config {
@@ -147,6 +155,43 @@ func WithFailures(f Failures) Option {
 		c.spec.FailureSeed = f.Seed
 		c.spec.MaxFailures = f.Max
 	})
+}
+
+// WithFailurePattern modulates the run's failure process with a
+// time-varying intensity curve: the base process (from WithFailures, which
+// must also be present) is thinned against the curve, so failures cluster in
+// the curve's bursts and thin out in its valleys while the renewal chain
+// stays deterministic per seed. Position-independent: the wrap happens after
+// all options apply. On a sweep, the scenario spec owns the knob
+// (failures.pattern).
+func WithFailurePattern(p PatternSpec) Option {
+	return func(c *config) error {
+		if c.scope != scopeRun {
+			return errBadSpec("WithFailurePattern applies to Run, not %s (the scenario spec owns it: failures.pattern)", c.scope)
+		}
+		if err := p.Validate(); err != nil {
+			return errBadSpec("WithFailurePattern: %v", err)
+		}
+		c.failurePattern = &p
+		return nil
+	}
+}
+
+// WithJobStream switches a sweep's cells from single applications to
+// multi-job clusters: each cell simulates j's stream of jobs arriving,
+// queueing, and departing on a cluster of Scale nodes, with each job an
+// inner run under the cell's mode, schedule, and failure process
+// (Result.Jobs carries the per-job reports). It overrides the scenario's
+// jobs block; the scenario's workload must be empty (templates carry the
+// per-job workloads).
+func WithJobStream(j ScenarioJobs) Option {
+	return func(c *config) error {
+		if c.scope != scopeSweep {
+			return errBadSpec("WithJobStream applies to Sweep, not %s (the scenario spec owns it: jobs)", c.scope)
+		}
+		c.jobStream = &j
+		return nil
+	}
 }
 
 // WithHorizon caps virtual time: a run (or sweep cell) whose application

@@ -6,6 +6,8 @@ import (
 	"io"
 	"iter"
 
+	"repro/internal/jobs"
+	"repro/internal/pattern"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -35,9 +37,37 @@ type (
 	// (Scenario.Failures).
 	ScenarioFailures = scenario.FailureSpec
 
+	// ScenarioJobs switches a scenario to cluster cells: a stream of jobs
+	// arriving, queueing, and departing on Scales-node clusters
+	// (Scenario.Jobs); see JOBS in DESIGN.md.
+	ScenarioJobs = scenario.JobsSpec
+
+	// ScenarioJobTemplate is one job class in a ScenarioJobs mix: a
+	// workload spec plus its node count and draw weight.
+	ScenarioJobTemplate = scenario.JobTemplateSpec
+
+	// PatternSpec declares a time-varying intensity curve (constant, ramp,
+	// burst, sine, piecewise, or a named preset) in operator units; it
+	// modulates failure processes (ScenarioFailures.Pattern,
+	// WithFailurePattern) and job arrivals (ScenarioJobs.Arrivals).
+	PatternSpec = pattern.Spec
+
+	// PatternCurve is a compiled intensity curve (PatternSpec.Curve).
+	PatternCurve = pattern.Curve
+
+	// JobsResult is a cluster cell's job-stream result (Result.Jobs):
+	// per-job lifecycle reports plus makespan, utilization, and waits.
+	JobsResult = jobs.Result
+
+	// JobReport is one job's lifecycle record inside a JobsResult.
+	JobReport = jobs.JobReport
+
 	// Table is a rendered result table (String, TSV).
 	Table = stats.Table
 )
+
+// PatternPresets lists the built-in pattern preset names in stable order.
+func PatternPresets() []string { return pattern.Presets() }
 
 // Cell is one finished cell of a sweep: its matrix coordinates and seed,
 // plus the full run Result.
@@ -138,6 +168,9 @@ func (c *config) sweepSpec(sc *Scenario) (*Scenario, scenario.Instrument, error)
 		return nil, scenario.Instrument{}, errBadSpec("nil scenario")
 	}
 	cp := *sc
+	if c.jobStream != nil {
+		cp.Jobs = c.jobStream
+	}
 	cp.Normalize()
 	if c.seedSet {
 		cp.Seed = c.seed

@@ -71,7 +71,7 @@ func NewInjector(w *mpi.World, f group.Formation, src StateSource, proc Process,
 // strictly before the failure instant, so evaluate reads the same
 // fully-quiesced state a serial run would — at any worker count.
 func (inj *Injector) Arm() {
-	inj.w.K.GlobalAfter(inj.proc.NextGap(inj.rng), inj.fire)
+	inj.w.K.GlobalAfter(GapAt(inj.proc, inj.w.K.Now(), inj.rng), inj.fire)
 }
 
 // Outcomes returns the evaluated failures in arrival order.
@@ -88,7 +88,7 @@ func (inj *Injector) fire() {
 	if inj.OnOutcome != nil {
 		inj.OnOutcome(out)
 	}
-	inj.w.K.GlobalAfter(inj.proc.NextGap(inj.rng), inj.fire)
+	inj.w.K.GlobalAfter(GapAt(inj.proc, inj.w.K.Now(), inj.rng), inj.fire)
 }
 
 func (inj *Injector) allFinished() bool {

@@ -1,0 +1,85 @@
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+// Modulated is a non-homogeneous failure process: a base renewal process
+// whose intensity is multiplied by a time-varying pattern curve. It samples
+// by thinning (Lewis–Shedler): candidate arrivals are drawn from the base
+// process sped up to the curve's peak intensity, then each candidate at
+// instant t is accepted with probability curve(t)/max — so bursts arrive at
+// up to max× the base rate and valleys go quiet, while the long-run rate
+// stays the base rate times the curve's average level.
+//
+// Every draw consumes rng variates in a fixed order, so the renewal chain
+// stays deterministic per seed — and because the injector fires failures as
+// barrier-synchronized global events, a modulated process is exactly as
+// safe under the partitioned kernel as a stationary one.
+type Modulated struct {
+	Base  Process
+	Curve pattern.Curve
+}
+
+// maxThinningTries bounds the rejection loop. A curve that goes (and stays)
+// near zero after a burst rejects candidates indefinitely; after this many
+// the accumulated candidate time is returned as the gap — by then it is far
+// past any simulated application's lifetime, so the chain effectively ends.
+const maxThinningTries = 4096
+
+// NewModulated wraps base in the curve, validating both. A constant curve
+// at level 1 reproduces the base process's statistics (not its exact draws:
+// thinning consumes an extra uniform per candidate).
+func NewModulated(base Process, curve pattern.Curve) (*Modulated, error) {
+	m := &Modulated{Base: base, Curve: curve}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Name implements Process.
+func (m *Modulated) Name() string {
+	return fmt.Sprintf("%s × %s", m.Base.Name(), m.Curve.Name())
+}
+
+// Validate implements Validator.
+func (m *Modulated) Validate() error {
+	if m.Base == nil {
+		return fmt.Errorf("failure: modulated process has no base process")
+	}
+	if v, ok := m.Base.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := pattern.Validate(m.Curve); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NextGap implements Process, drawing as if the chain starts at t = 0. The
+// injector routes through NextGapAt instead, which this delegates to.
+func (m *Modulated) NextGap(rng *rand.Rand) sim.Time { return m.NextGapAt(0, rng) }
+
+// NextGapAt implements TimeVarying by thinning against the curve.
+func (m *Modulated) NextGapAt(now sim.Time, rng *rand.Rand) sim.Time {
+	cmax := m.Curve.Max()
+	t := now
+	for i := 0; i < maxThinningTries; i++ {
+		// Candidate gap from the base process accelerated to the peak
+		// intensity: gaps shrink by 1/cmax so candidates arrive fast
+		// enough to realize the curve's crests.
+		g := clampGap(sim.Time(float64(m.Base.NextGap(rng)) / cmax))
+		t += g
+		if rng.Float64()*cmax <= m.Curve.At(t) {
+			break
+		}
+	}
+	return clampGap(t - now)
+}

@@ -1,0 +1,199 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/sim"
+)
+
+func TestNewWeibullRejectsBadShape(t *testing.T) {
+	for _, shape := range []float64{0, -1, -0.5} {
+		if _, err := NewWeibull(shape, 10*sim.Second); err == nil {
+			t.Errorf("NewWeibull(shape=%g) accepted; want constructor error", shape)
+		} else if !strings.Contains(err.Error(), "shape") {
+			t.Errorf("error %q does not name the shape field", err)
+		}
+	}
+	if _, err := NewWeibull(0.7, 0); err == nil {
+		t.Error("NewWeibull(mtbf=0) accepted; want constructor error")
+	}
+}
+
+func TestWeibullScaleEquivalence(t *testing.T) {
+	// The constructor precomputes the scale; a literal-built value derives
+	// it per draw. Identical rng streams must produce identical gaps — the
+	// hoist is a pure optimization.
+	built, err := NewWeibull(0.7, 60*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	literal := Weibull{Shape: 0.7, MTBF: 60 * sim.Second}
+	a, b := rand.New(rand.NewSource(11)), rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		ga, gb := built.NextGap(a), literal.NextGap(b)
+		if ga != gb {
+			t.Fatalf("draw %d: precomputed scale gave %v, per-draw scale gave %v", i, ga, gb)
+		}
+	}
+}
+
+func TestWeibullNaNGuard(t *testing.T) {
+	// A literal-built process with a nonsense shape must still produce
+	// strictly positive gaps: clampGap treats NaN like any other
+	// out-of-range value. (The constructor and spec validation reject the
+	// shape before a run; the guard is the last line of defense.)
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range []float64{0, -1, -0.5} {
+		w := Weibull{Shape: shape, MTBF: 10 * sim.Second}
+		for i := 0; i < 100; i++ {
+			if g := w.NextGap(rng); g < sim.Millisecond {
+				t.Fatalf("shape=%g draw %d: gap %v below the positive floor", shape, i, g)
+			}
+		}
+	}
+}
+
+func TestClampGapGuardsNaN(t *testing.T) {
+	if g := clampGap(sim.Time(math.MinInt64)); g != sim.Millisecond {
+		t.Errorf("clampGap(MinInt64) = %v, want 1ms", g)
+	}
+	if g := clampGap(0); g != sim.Millisecond {
+		t.Errorf("clampGap(0) = %v, want 1ms", g)
+	}
+	if g := clampGap(5 * sim.Second); g != 5*sim.Second {
+		t.Errorf("clampGap(5s) = %v, want 5s", g)
+	}
+}
+
+func TestProcessValidate(t *testing.T) {
+	good, err := NewWeibull(0.7, 10*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		p    Process
+		ok   bool
+	}{
+		{"poisson", Poisson{MTBF: sim.Second}, true},
+		{"poisson zero mtbf", Poisson{}, false},
+		{"weibull", good, true},
+		{"weibull literal bad shape", Weibull{Shape: -1, MTBF: sim.Second}, false},
+		{"modulated", &Modulated{Base: Poisson{MTBF: sim.Second}, Curve: pattern.Constant{Level: 1}}, true},
+		{"modulated nil base", &Modulated{Curve: pattern.Constant{Level: 1}}, false},
+		{"modulated nil curve", &Modulated{Base: Poisson{MTBF: sim.Second}}, false},
+		{"modulated bad base", &Modulated{Base: Weibull{Shape: 0}, Curve: pattern.Constant{Level: 1}}, false},
+		{"modulated zero curve", &Modulated{Base: Poisson{MTBF: sim.Second}, Curve: pattern.Constant{}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, ok := tc.p.(Validator)
+			if !ok {
+				t.Fatalf("%T does not implement Validator", tc.p)
+			}
+			if err := v.Validate(); (err == nil) != tc.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestModulatedDeterministicPerSeed(t *testing.T) {
+	draw := func(seed int64) []sim.Time {
+		m, err := NewModulated(Poisson{MTBF: 5 * sim.Second},
+			pattern.Burst{Base: 0.25, Peak: 8, Start: 5 * sim.Second, Duration: 3 * sim.Second, Every: 20 * sim.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var now sim.Time
+		var out []sim.Time
+		for i := 0; i < 200; i++ {
+			g := GapAt(m, now, rng)
+			if g <= 0 {
+				t.Fatalf("draw %d: non-positive gap %v", i, g)
+			}
+			now += g
+			out = append(out, g)
+		}
+		return out
+	}
+	a, b := draw(9), draw(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestModulatedConcentratesArrivalsInBursts(t *testing.T) {
+	// Arrivals under a burst curve must land inside burst windows far more
+	// densely than outside: the whole point of thinning.
+	curve := pattern.Burst{Base: 0.1, Peak: 10, Start: 10 * sim.Second,
+		Duration: 5 * sim.Second, Every: 50 * sim.Second}
+	m, err := NewModulated(Poisson{MTBF: 2 * sim.Second}, curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	var now sim.Time
+	inBurst, outBurst := 0, 0
+	horizon := 5000 * sim.Second
+	for now < horizon {
+		now += m.NextGapAt(now, rng)
+		if now >= horizon {
+			break
+		}
+		if curve.At(now) == curve.Peak {
+			inBurst++
+		} else {
+			outBurst++
+		}
+	}
+	if inBurst == 0 {
+		t.Fatal("no arrivals landed in burst windows")
+	}
+	// Burst windows cover 10% of each period at 100× the base intensity:
+	// in-burst arrivals should dominate by a wide margin.
+	if inBurst < 5*outBurst {
+		t.Errorf("arrivals in bursts %d vs outside %d: modulation too weak", inBurst, outBurst)
+	}
+}
+
+func TestModulatedSteadyMatchesBaseRate(t *testing.T) {
+	// A constant level-1 curve reproduces the base process's mean rate.
+	m, err := NewModulated(Poisson{MTBF: 100 * sim.Second}, pattern.Constant{Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var now sim.Time
+	const n = 20000
+	for i := 0; i < n; i++ {
+		now += m.NextGapAt(now, rng)
+	}
+	mean := now.Seconds() / n
+	if math.Abs(mean-100) > 5 {
+		t.Errorf("steady modulated mean gap = %.1fs, want ≈100s", mean)
+	}
+}
+
+func TestModulatedSilentCurveTerminates(t *testing.T) {
+	// A single burst that has passed leaves the curve at zero forever; the
+	// rejection cap must still return a (huge) positive gap rather than
+	// spin. Base level 0 means every candidate after the burst is rejected.
+	m, err := NewModulated(Poisson{MTBF: sim.Second},
+		pattern.Burst{Base: 0, Peak: 1, Start: 0, Duration: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	g := m.NextGapAt(100*sim.Second, rng) // long past the only burst
+	if g <= 0 {
+		t.Fatalf("gap %v not positive", g)
+	}
+}

@@ -22,6 +22,34 @@ type Process interface {
 	NextGap(rng *rand.Rand) sim.Time
 }
 
+// TimeVarying is implemented by processes whose intensity depends on
+// absolute virtual time (non-homogeneous processes such as Modulated). The
+// injector draws through GapAt, so a time-varying process sees the instant
+// it is being asked from; a plain renewal Process never needs it.
+type TimeVarying interface {
+	// NextGapAt draws the time until the next failure given that the
+	// previous one (or the run start) was at now. Gaps must be strictly
+	// positive.
+	NextGapAt(now sim.Time, rng *rand.Rand) sim.Time
+}
+
+// GapAt draws the next inter-failure gap from p, routing through the
+// time-varying interface when the process implements it.
+func GapAt(p Process, now sim.Time, rng *rand.Rand) sim.Time {
+	if tv, ok := p.(TimeVarying); ok {
+		return tv.NextGapAt(now, rng)
+	}
+	return p.NextGap(rng)
+}
+
+// Validator is implemented by processes that can reject their own
+// parameters. The harness checks it before a run so a mis-built process
+// (Weibull shape ≤ 0, empty modulation curve) fails the spec loudly instead
+// of producing garbage gaps.
+type Validator interface {
+	Validate() error
+}
+
 // Poisson is the classical memoryless failure model: exponential gaps with
 // the given system-wide mean time between failures.
 type Poisson struct {
@@ -36,14 +64,48 @@ func (p Poisson) NextGap(rng *rand.Rand) sim.Time {
 	return clampGap(sim.Time(rng.ExpFloat64() * float64(p.MTBF)))
 }
 
+// Validate implements Validator.
+func (p Poisson) Validate() error {
+	if p.MTBF <= 0 {
+		return fmt.Errorf("failure: poisson MTBF %v must be positive", p.MTBF)
+	}
+	return nil
+}
+
 // Weibull models the hazard shapes real HPC failure logs show: Shape < 1
 // gives a decreasing hazard (infant mortality — failures cluster early,
 // the common finding in large-system studies), Shape > 1 wear-out, and
 // Shape = 1 reduces to Poisson. MTBF is the distribution mean; the scale
 // parameter is derived as MTBF / Γ(1 + 1/Shape).
+//
+// Build one with NewWeibull, which rejects Shape ≤ 0 up front and
+// precomputes the scale so the per-draw hot path never touches math.Gamma.
+// A literal-built value still draws correctly (the scale is derived on each
+// draw), but pays the Γ evaluation per gap.
 type Weibull struct {
 	Shape float64
 	MTBF  sim.Time
+
+	// scale caches MTBF / Γ(1 + 1/Shape); zero means literal-built.
+	scale float64
+}
+
+// NewWeibull builds a Weibull process with the scale precomputed. Shape ≤ 0
+// is not a distribution at all — the old silent path divided by zero and
+// produced NaN gaps — so it is an explicit constructor error, as is a
+// non-positive MTBF.
+func NewWeibull(shape float64, mtbf sim.Time) (Weibull, error) {
+	w := Weibull{Shape: shape, MTBF: mtbf}
+	if err := w.Validate(); err != nil {
+		return Weibull{}, err
+	}
+	w.scale = weibullScale(shape, mtbf)
+	return w, nil
+}
+
+// weibullScale derives the distribution's scale parameter from its mean.
+func weibullScale(shape float64, mtbf sim.Time) float64 {
+	return float64(mtbf) / math.Gamma(1+1/shape)
 }
 
 // Name implements Process.
@@ -51,10 +113,24 @@ func (w Weibull) Name() string {
 	return fmt.Sprintf("weibull(shape=%.2f,mtbf=%v)", w.Shape, w.MTBF)
 }
 
+// Validate implements Validator.
+func (w Weibull) Validate() error {
+	if w.Shape <= 0 {
+		return fmt.Errorf("failure: weibull shape %g must be positive (shape ≤ 0 is not a distribution)", w.Shape)
+	}
+	if w.MTBF <= 0 {
+		return fmt.Errorf("failure: weibull MTBF %v must be positive", w.MTBF)
+	}
+	return nil
+}
+
 // NextGap implements Process, sampling by inverse transform:
 // scale · (−ln U)^(1/shape).
 func (w Weibull) NextGap(rng *rand.Rand) sim.Time {
-	scale := float64(w.MTBF) / math.Gamma(1+1/w.Shape)
+	scale := w.scale
+	if scale == 0 { // literal-built: derive per draw (NewWeibull avoids this)
+		scale = weibullScale(w.Shape, w.MTBF)
+	}
 	u := rng.Float64()
 	for u == 0 { // (−ln 0) would overflow
 		u = rng.Float64()
@@ -63,9 +139,11 @@ func (w Weibull) NextGap(rng *rand.Rand) sim.Time {
 }
 
 // clampGap keeps renewal gaps strictly positive so an injector can never
-// schedule an unbounded burst of failures at one instant.
+// schedule an unbounded burst of failures at one instant. The inverted
+// comparison is deliberate: it is also the NaN guard — a gap that is not
+// provably ≥ 1ms (including NaN from a mis-parameterized process) clamps.
 func clampGap(g sim.Time) sim.Time {
-	if g < sim.Millisecond {
+	if !(g >= sim.Millisecond) {
 		return sim.Millisecond
 	}
 	return g

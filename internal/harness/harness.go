@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/group"
+	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/mlog"
 	"repro/internal/mpi"
@@ -156,6 +157,12 @@ type Result struct {
 	// Metrics is the run's final metrics snapshot, populated by a
 	// MetricsObserver (nil otherwise).
 	Metrics *metrics.Snapshot
+
+	// Jobs is the cluster-level job-stream result when the cell simulated
+	// a multi-job cluster (scenario jobs specs) rather than one
+	// application; the scalar fields above then aggregate the stream
+	// (ExecTime = makespan, Failures = all inner runs' outcomes).
+	Jobs *jobs.Result
 }
 
 func zeroIsGideon(c cluster.Config) cluster.Config {
@@ -209,6 +216,14 @@ func (s *Spec) validate() error {
 	if s.Formation != nil {
 		if err := s.Formation.Validate(); err != nil {
 			return fmt.Errorf("harness: %w: formation override: %v", ErrBadSpec, err)
+		}
+	}
+	// A process that can reject its own parameters gets the chance now: a
+	// Weibull with shape ≤ 0 or a modulation curve with no intensity must
+	// fail the spec, not produce garbage gaps mid-run.
+	if v, ok := s.FailureProc.(failure.Validator); ok && s.FailureProc != nil {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("harness: %w: failure process: %v", ErrBadSpec, err)
 		}
 	}
 	return nil

@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Placement decides which free nodes a job occupies. Policies are pure
+// functions of the free set and the request size — no randomness, no state —
+// so the cluster simulation stays a deterministic function of the spec.
+type Placement interface {
+	// Name identifies the policy in reports and spec files.
+	Name() string
+	// Place returns the node ids to assign (exactly need of them, ascending)
+	// or nil when the policy cannot place the job on the current free set.
+	// It must not mutate free.
+	Place(free []bool, need int) []int
+}
+
+// FirstFit takes the lowest-numbered free nodes wherever they are — the
+// classic greedy scheduler. It never refuses a job that fits by count, but
+// a fragmented cluster scatters the job (and with it every checkpoint
+// group) across disjoint node ranges.
+type FirstFit struct{}
+
+// Name implements Placement.
+func (FirstFit) Name() string { return "firstfit" }
+
+// Place implements Placement.
+func (FirstFit) Place(free []bool, need int) []int {
+	nodes := make([]int, 0, need)
+	for i, f := range free {
+		if !f {
+			continue
+		}
+		nodes = append(nodes, i)
+		if len(nodes) == need {
+			return nodes
+		}
+	}
+	return nil
+}
+
+// Grouped is the group-aware policy: it places a job only on one contiguous
+// block of nodes (best fit — the smallest adequate block, lowest-numbered on
+// ties), so checkpoint groups stay co-located and restart traffic stays
+// local. The price is admission: a cluster with enough free nodes but no
+// contiguous block keeps the job queued, trading utilization for locality —
+// exactly the tension the cluster scenarios measure.
+type Grouped struct{}
+
+// Name implements Placement.
+func (Grouped) Name() string { return "grouped" }
+
+// Place implements Placement.
+func (Grouped) Place(free []bool, need int) []int {
+	bestStart, bestLen := -1, -1
+	i := 0
+	for i < len(free) {
+		if !free[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < len(free) && free[i] {
+			i++
+		}
+		runLen := i - start
+		if runLen >= need && (bestLen < 0 || runLen < bestLen) {
+			bestStart, bestLen = start, runLen
+		}
+	}
+	if bestStart < 0 {
+		return nil
+	}
+	nodes := make([]int, need)
+	for j := range nodes {
+		nodes[j] = bestStart + j
+	}
+	return nodes
+}
+
+// Policies lists the placement policy names in stable order.
+func Policies() []string { return []string{"firstfit", "grouped"} }
+
+// PolicyNamed resolves a placement policy by name.
+func PolicyNamed(name string) (Placement, error) {
+	switch strings.ToLower(name) {
+	case "", "firstfit":
+		return FirstFit{}, nil
+	case "grouped":
+		return Grouped{}, nil
+	}
+	return nil, fmt.Errorf("jobs: unknown placement policy %q (have %s)",
+		name, strings.Join(Policies(), ", "))
+}
+
+// fragments counts the maximal contiguous runs in an ascending node list —
+// 1 means the job is perfectly co-located.
+func fragments(nodes []int) int {
+	if len(nodes) == 0 {
+		return 0
+	}
+	n := 1
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] != nodes[i-1]+1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,410 @@
+// Package pattern models time-varying intensity: a Curve maps virtual time
+// to a non-negative multiplier applied to some base rate — failure arrivals
+// thinning against it (failure.Modulated), job arrivals shaping a cluster's
+// load (internal/jobs). Real failure logs are bursty and diurnal, and real
+// clusters breathe with the day; the stationary renewal processes the paper
+// assumed cannot express either. Curves are pure functions of time: no
+// state, no randomness, so a curve adds nothing to a run's entropy — the
+// spec plus the seed still fully determines every event.
+//
+// The declarative side is Spec: a JSON description (kind + parameters, or a
+// named preset with overrides) that validates loudly and compiles to a
+// Curve, so scenario files can shape failure intensity and job arrivals
+// without code.
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Curve is a deterministic intensity multiplier over virtual time. At must
+// be non-negative everywhere; Max must be a finite least upper bound of At
+// (used by rejection samplers as the thinning majorant), strictly positive.
+type Curve interface {
+	// Name identifies the curve and its parameters in reports.
+	Name() string
+	// At returns the intensity multiplier at time t (≥ 0).
+	At(t sim.Time) float64
+	// Max returns the curve's least upper bound (> 0, finite).
+	Max() float64
+}
+
+// Constant is the stationary curve: the identity when Level == 1.
+type Constant struct {
+	Level float64
+}
+
+// Name implements Curve.
+func (c Constant) Name() string { return fmt.Sprintf("constant(%g)", c.Level) }
+
+// At implements Curve.
+func (c Constant) At(sim.Time) float64 { return c.Level }
+
+// Max implements Curve.
+func (c Constant) Max() float64 { return c.Level }
+
+// Ramp rises (or falls) linearly from From to To over [0, Over], then holds
+// To — a warm-up, a drain, or gradually worsening hardware.
+type Ramp struct {
+	From, To float64
+	Over     sim.Time
+}
+
+// Name implements Curve.
+func (r Ramp) Name() string {
+	return fmt.Sprintf("ramp(%g→%g over %v)", r.From, r.To, r.Over)
+}
+
+// At implements Curve by linear interpolation, clamped at both ends.
+func (r Ramp) At(t sim.Time) float64 {
+	if r.Over <= 0 || t >= r.Over {
+		return r.To
+	}
+	if t <= 0 {
+		return r.From
+	}
+	frac := float64(t) / float64(r.Over)
+	return r.From + (r.To-r.From)*frac
+}
+
+// Max implements Curve.
+func (r Ramp) Max() float64 { return math.Max(r.From, r.To) }
+
+// Burst holds a Base level with rectangular excursions to Peak: the first
+// burst spans [Start, Start+Duration), repeating every Every (0 = a single
+// burst). Failure-log burstiness in its simplest form.
+type Burst struct {
+	Base, Peak      float64
+	Start, Duration sim.Time
+	Every           sim.Time
+}
+
+// Name implements Curve.
+func (b Burst) Name() string {
+	if b.Every > 0 {
+		return fmt.Sprintf("burst(%g→%g at %v for %v every %v)", b.Base, b.Peak, b.Start, b.Duration, b.Every)
+	}
+	return fmt.Sprintf("burst(%g→%g at %v for %v)", b.Base, b.Peak, b.Start, b.Duration)
+}
+
+// At implements Curve.
+func (b Burst) At(t sim.Time) float64 {
+	off := t - b.Start
+	if off < 0 {
+		return b.Base
+	}
+	if b.Every > 0 {
+		off %= b.Every
+	}
+	if off < b.Duration {
+		return b.Peak
+	}
+	return b.Base
+}
+
+// Max implements Curve.
+func (b Burst) Max() float64 { return math.Max(b.Base, b.Peak) }
+
+// Sine oscillates around Base with the given Amplitude and Period — the
+// diurnal shape, phase-shifted by Phase. Values are clamped at zero, so
+// Amplitude > Base carves silent valleys rather than going negative.
+type Sine struct {
+	Base, Amplitude float64
+	Period, Phase   sim.Time
+}
+
+// Name implements Curve.
+func (s Sine) Name() string {
+	return fmt.Sprintf("sine(base=%g amp=%g period=%v)", s.Base, s.Amplitude, s.Period)
+}
+
+// At implements Curve.
+func (s Sine) At(t sim.Time) float64 {
+	v := s.Base + s.Amplitude*math.Sin(2*math.Pi*float64(t+s.Phase)/float64(s.Period))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Max implements Curve.
+func (s Sine) Max() float64 { return s.Base + s.Amplitude }
+
+// Point is one breakpoint of a Piecewise curve.
+type Point struct {
+	T     sim.Time
+	Level float64
+}
+
+// Piecewise interpolates linearly between breakpoints, holding the first
+// level before the first point and the last level after the last — arbitrary
+// replayed intensity traces.
+type Piecewise struct {
+	Points []Point // ascending T, at least one
+}
+
+// Name implements Curve.
+func (p Piecewise) Name() string { return fmt.Sprintf("piecewise(%d points)", len(p.Points)) }
+
+// At implements Curve.
+func (p Piecewise) At(t sim.Time) float64 {
+	pts := p.Points
+	if len(pts) == 0 {
+		return 0
+	}
+	if t <= pts[0].T {
+		return pts[0].Level
+	}
+	if t >= pts[len(pts)-1].T {
+		return pts[len(pts)-1].Level
+	}
+	// First point strictly past t; interpolate from its predecessor.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].T > t })
+	a, b := pts[i-1], pts[i]
+	if b.T == a.T {
+		return b.Level
+	}
+	frac := float64(t-a.T) / float64(b.T-a.T)
+	return a.Level + (b.Level-a.Level)*frac
+}
+
+// Max implements Curve.
+func (p Piecewise) Max() float64 {
+	var m float64
+	for _, pt := range p.Points {
+		m = math.Max(m, pt.Level)
+	}
+	return m
+}
+
+// Validate checks a curve the way Spec validation does — non-negative
+// everywhere it can cheaply prove, Max positive and finite. Samplers rely on
+// these properties; Validate is how hand-built curves get the same loud
+// failure a spec file would.
+func Validate(c Curve) error {
+	if c == nil {
+		return fmt.Errorf("pattern: nil curve")
+	}
+	switch v := c.(type) {
+	case Constant:
+		if v.Level <= 0 {
+			return fmt.Errorf("pattern: constant level %g must be positive", v.Level)
+		}
+	case Ramp:
+		if v.From < 0 || v.To < 0 {
+			return fmt.Errorf("pattern: ramp levels %g→%g must be non-negative", v.From, v.To)
+		}
+		if v.Over < 0 {
+			return fmt.Errorf("pattern: ramp duration %v negative", v.Over)
+		}
+	case Burst:
+		if v.Base < 0 || v.Peak < 0 {
+			return fmt.Errorf("pattern: burst levels base=%g peak=%g must be non-negative", v.Base, v.Peak)
+		}
+		if v.Start < 0 || v.Duration <= 0 {
+			return fmt.Errorf("pattern: burst window start=%v duration=%v invalid", v.Start, v.Duration)
+		}
+		if v.Every > 0 && v.Every < v.Duration {
+			return fmt.Errorf("pattern: burst period %v shorter than burst duration %v", v.Every, v.Duration)
+		}
+	case Sine:
+		if v.Base < 0 || v.Amplitude < 0 {
+			return fmt.Errorf("pattern: sine base=%g amplitude=%g must be non-negative", v.Base, v.Amplitude)
+		}
+		if v.Period <= 0 {
+			return fmt.Errorf("pattern: sine period %v must be positive", v.Period)
+		}
+	case Piecewise:
+		if len(v.Points) == 0 {
+			return fmt.Errorf("pattern: piecewise curve needs at least one point")
+		}
+		for i, pt := range v.Points {
+			if pt.Level < 0 {
+				return fmt.Errorf("pattern: piecewise point %d level %g negative", i, pt.Level)
+			}
+			if i > 0 && pt.T <= v.Points[i-1].T {
+				return fmt.Errorf("pattern: piecewise point %d at %v not after point %d at %v",
+					i, pt.T, i-1, v.Points[i-1].T)
+			}
+		}
+		if v.Points[0].T < 0 {
+			return fmt.Errorf("pattern: piecewise point 0 at negative time %v", v.Points[0].T)
+		}
+	}
+	m := c.Max()
+	if !(m > 0) || math.IsInf(m, 1) {
+		return fmt.Errorf("pattern: curve %s has max intensity %g; must be positive and finite", c.Name(), m)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Declarative specs.
+
+// PointSpec is one JSON breakpoint of a piecewise curve.
+type PointSpec struct {
+	TS    float64 `json:"tS"`
+	Level float64 `json:"level"`
+}
+
+// Spec is the declarative form of a Curve: a kind plus its parameters, in
+// operator units (seconds). A named preset supplies defaults the remaining
+// fields override, so `{"kind":"preset","preset":"diurnal","periodS":40}` is
+// the diurnal shape squeezed into a 40-second run.
+type Spec struct {
+	// Kind selects the curve family: constant | ramp | burst | sine |
+	// piecewise | preset.
+	Kind string `json:"kind"`
+	// Preset names a built-in parameterization (kind "preset" only); see
+	// Presets.
+	Preset string `json:"preset,omitempty"`
+
+	// constant
+	Level float64 `json:"level,omitempty"`
+
+	// ramp
+	From  float64 `json:"from,omitempty"`
+	To    float64 `json:"to,omitempty"`
+	OverS float64 `json:"overS,omitempty"`
+
+	// burst (Base shared with sine)
+	Base      float64 `json:"base,omitempty"`
+	Peak      float64 `json:"peak,omitempty"`
+	StartS    float64 `json:"startS,omitempty"`
+	DurationS float64 `json:"durationS,omitempty"`
+	EveryS    float64 `json:"everyS,omitempty"`
+
+	// sine
+	Amplitude float64 `json:"amplitude,omitempty"`
+	PeriodS   float64 `json:"periodS,omitempty"`
+	PhaseS    float64 `json:"phaseS,omitempty"`
+
+	// piecewise
+	Points []PointSpec `json:"points,omitempty"`
+}
+
+// presets maps names to fully-parameterized specs. Periods are sized for
+// simulation-scale runs (tens of virtual seconds); override periodS (etc.)
+// to restretch a preset.
+var presets = map[string]Spec{
+	// steady is the identity: a modulated process with it is its base.
+	"steady": {Kind: "constant", Level: 1},
+	// diurnal is the day/night sine: busy peaks at 1.9× the base rate,
+	// quiet valleys near 0.1×.
+	"diurnal": {Kind: "sine", Base: 1, Amplitude: 0.9, PeriodS: 60},
+	// burst-storm is the failure-log shape: a low background punctuated by
+	// short storms at 8× intensity.
+	"burst-storm": {Kind: "burst", Base: 0.25, Peak: 8, StartS: 5, DurationS: 3, EveryS: 20},
+	// ramp-up grows from a trickle to double intensity over half a minute.
+	"ramp-up": {Kind: "ramp", From: 0.2, To: 2, OverS: 30},
+}
+
+// Presets lists the built-in preset names in stable order.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the named preset's spec.
+func Preset(name string) (Spec, bool) {
+	s, ok := presets[strings.ToLower(name)]
+	return s, ok
+}
+
+// resolve expands a preset reference: the preset supplies every field the
+// spec left zero, and non-zero spec fields override the preset's. A bare
+// {"preset": "x"} with no kind is unambiguous and resolves as kind "preset";
+// a preset on any other explicit kind is a contradiction and is rejected.
+func (s Spec) resolve() (Spec, error) {
+	if s.Kind == "" && s.Preset != "" {
+		s.Kind = "preset"
+	}
+	if s.Kind != "preset" {
+		if s.Preset != "" {
+			return Spec{}, fmt.Errorf("pattern: preset %q set on kind %q (use kind \"preset\")", s.Preset, s.Kind)
+		}
+		return s, nil
+	}
+	base, ok := Preset(s.Preset)
+	if !ok {
+		return Spec{}, fmt.Errorf("pattern: unknown preset %q (have %s)",
+			s.Preset, strings.Join(Presets(), ", "))
+	}
+	out := base
+	override := func(dst *float64, v float64) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	override(&out.Level, s.Level)
+	override(&out.From, s.From)
+	override(&out.To, s.To)
+	override(&out.OverS, s.OverS)
+	override(&out.Base, s.Base)
+	override(&out.Peak, s.Peak)
+	override(&out.StartS, s.StartS)
+	override(&out.DurationS, s.DurationS)
+	override(&out.EveryS, s.EveryS)
+	override(&out.Amplitude, s.Amplitude)
+	override(&out.PeriodS, s.PeriodS)
+	override(&out.PhaseS, s.PhaseS)
+	if len(s.Points) > 0 {
+		out.Points = s.Points
+	}
+	return out, nil
+}
+
+// Curve compiles the spec, validating it on the way: every rejection names
+// the offending field. Identical specs compile to identical curves.
+func (s Spec) Curve() (Curve, error) {
+	r, err := s.resolve()
+	if err != nil {
+		return nil, err
+	}
+	var c Curve
+	switch r.Kind {
+	case "constant":
+		c = Constant{Level: r.Level}
+	case "ramp":
+		c = Ramp{From: r.From, To: r.To, Over: sim.Seconds(r.OverS)}
+	case "burst":
+		c = Burst{Base: r.Base, Peak: r.Peak,
+			Start: sim.Seconds(r.StartS), Duration: sim.Seconds(r.DurationS),
+			Every: sim.Seconds(r.EveryS)}
+	case "sine":
+		c = Sine{Base: r.Base, Amplitude: r.Amplitude,
+			Period: sim.Seconds(r.PeriodS), Phase: sim.Seconds(r.PhaseS)}
+	case "piecewise":
+		pts := make([]Point, len(r.Points))
+		for i, p := range r.Points {
+			pts[i] = Point{T: sim.Seconds(p.TS), Level: p.Level}
+		}
+		c = Piecewise{Points: pts}
+	case "":
+		return nil, fmt.Errorf("pattern: spec needs a kind (constant, ramp, burst, sine, piecewise, preset)")
+	default:
+		return nil, fmt.Errorf("pattern: unknown kind %q (have constant, ramp, burst, sine, piecewise, preset)", r.Kind)
+	}
+	if err := Validate(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate checks the spec without keeping the compiled curve.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	_, err := s.Curve()
+	return err
+}

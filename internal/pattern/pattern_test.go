@@ -1,0 +1,306 @@
+package pattern
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestConstant(t *testing.T) {
+	c := Constant{Level: 2.5}
+	for _, tm := range []sim.Time{0, sim.Second, 1000 * sim.Second} {
+		if c.At(tm) != 2.5 {
+			t.Errorf("At(%v) = %g, want 2.5", tm, c.At(tm))
+		}
+	}
+	if c.Max() != 2.5 {
+		t.Errorf("Max = %g", c.Max())
+	}
+}
+
+func TestRampEndpoints(t *testing.T) {
+	r := Ramp{From: 1, To: 3, Over: 10 * sim.Second}
+	cases := []struct {
+		t    sim.Time
+		want float64
+	}{
+		{-sim.Second, 1},        // before start: From holds
+		{0, 1},                  // left endpoint exactly
+		{5 * sim.Second, 2},     // midpoint interpolates
+		{10 * sim.Second, 3},    // right endpoint exactly
+		{10000 * sim.Second, 3}, // after end: To holds
+	}
+	for _, tc := range cases {
+		if got := r.At(tc.t); !almost(got, tc.want) {
+			t.Errorf("ramp At(%v) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if r.Max() != 3 {
+		t.Errorf("Max = %g, want 3", r.Max())
+	}
+	// A falling ramp's max is its starting level.
+	if m := (Ramp{From: 4, To: 1, Over: sim.Second}).Max(); m != 4 {
+		t.Errorf("falling ramp Max = %g, want 4", m)
+	}
+}
+
+func TestBurstWindows(t *testing.T) {
+	b := Burst{Base: 0.5, Peak: 4, Start: 10 * sim.Second, Duration: 2 * sim.Second, Every: 20 * sim.Second}
+	cases := []struct {
+		t    sim.Time
+		want float64
+	}{
+		{0, 0.5},
+		{10 * sim.Second, 4},              // burst opens (inclusive)
+		{11 * sim.Second, 4},              // inside
+		{12 * sim.Second, 0.5},            // burst closes (exclusive)
+		{30 * sim.Second, 4},              // second burst, one period later
+		{32*sim.Second - 1, 4},            // last instant of second burst
+		{32 * sim.Second, 0.5},            // closed again
+		{50*sim.Second + sim.Second/2, 4}, // third burst interior
+	}
+	for _, tc := range cases {
+		if got := b.At(tc.t); got != tc.want {
+			t.Errorf("burst At(%v) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	// Single burst: quiet forever after.
+	one := Burst{Base: 1, Peak: 9, Start: sim.Second, Duration: sim.Second}
+	if got := one.At(100 * sim.Second); got != 1 {
+		t.Errorf("single burst At(100s) = %g, want base 1", got)
+	}
+}
+
+func TestSineShape(t *testing.T) {
+	s := Sine{Base: 1, Amplitude: 0.5, Period: 8 * sim.Second}
+	if got := s.At(0); !almost(got, 1) {
+		t.Errorf("sine At(0) = %g, want base", got)
+	}
+	if got := s.At(2 * sim.Second); !almost(got, 1.5) { // quarter period: crest
+		t.Errorf("sine At(T/4) = %g, want 1.5", got)
+	}
+	if got := s.At(6 * sim.Second); !almost(got, 0.5) { // three quarters: trough
+		t.Errorf("sine At(3T/4) = %g, want 0.5", got)
+	}
+	// Amplitude > base clamps at zero instead of going negative.
+	deep := Sine{Base: 0.5, Amplitude: 2, Period: 8 * sim.Second}
+	if got := deep.At(6 * sim.Second); got != 0 {
+		t.Errorf("clamped sine trough = %g, want 0", got)
+	}
+}
+
+func TestPiecewiseInterpolation(t *testing.T) {
+	p := Piecewise{Points: []Point{
+		{T: sim.Second, Level: 1},
+		{T: 3 * sim.Second, Level: 5},
+		{T: 4 * sim.Second, Level: 2},
+	}}
+	cases := []struct {
+		t    sim.Time
+		want float64
+	}{
+		{0, 1},              // before first point: first level holds
+		{sim.Second, 1},     // first breakpoint exactly
+		{2 * sim.Second, 3}, // interpolated midpoint
+		{3 * sim.Second, 5}, // middle breakpoint exactly
+		{3*sim.Second + sim.Second/2, 3.5},
+		{4 * sim.Second, 2},  // last breakpoint exactly
+		{90 * sim.Second, 2}, // after last: last level holds
+	}
+	for _, tc := range cases {
+		if got := p.At(tc.t); !almost(got, tc.want) {
+			t.Errorf("piecewise At(%v) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if p.Max() != 5 {
+		t.Errorf("Max = %g, want 5", p.Max())
+	}
+}
+
+func TestCurveDeterminism(t *testing.T) {
+	// Curves are pure functions: the same instant always maps to the same
+	// level, across distinct instances built from the same parameters.
+	build := func() []Curve {
+		return []Curve{
+			Constant{Level: 1.5},
+			Ramp{From: 0.2, To: 2, Over: 30 * sim.Second},
+			Burst{Base: 0.25, Peak: 8, Start: 5 * sim.Second, Duration: 3 * sim.Second, Every: 20 * sim.Second},
+			Sine{Base: 1, Amplitude: 0.9, Period: 60 * sim.Second},
+			Piecewise{Points: []Point{{T: 0, Level: 1}, {T: sim.Second, Level: 4}}},
+		}
+	}
+	a, b := build(), build()
+	for i := range a {
+		for tm := sim.Time(0); tm < 100*sim.Second; tm += 773 * sim.Millisecond {
+			if a[i].At(tm) != b[i].At(tm) {
+				t.Fatalf("%s not deterministic at %v", a[i].Name(), tm)
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Curve
+		want string
+	}{
+		{"nil", nil, "nil curve"},
+		{"zero constant", Constant{}, "positive"},
+		{"negative ramp", Ramp{From: -1, To: 2, Over: sim.Second}, "non-negative"},
+		{"zero-duration burst", Burst{Base: 1, Peak: 2, Duration: 0}, "duration"},
+		{"burst period under duration", Burst{Base: 1, Peak: 2, Duration: 5 * sim.Second, Every: sim.Second}, "shorter"},
+		{"zero-period sine", Sine{Base: 1, Amplitude: 0.5}, "period"},
+		{"empty piecewise", Piecewise{}, "at least one"},
+		{"unsorted piecewise", Piecewise{Points: []Point{{T: sim.Second, Level: 1}, {T: sim.Second, Level: 2}}}, "not after"},
+		{"all-zero piecewise", Piecewise{Points: []Point{{T: 0, Level: 0}}}, "max intensity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.c)
+			if err == nil {
+				t.Fatal("invalid curve accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSpecCompiles(t *testing.T) {
+	cases := []struct {
+		src  string
+		name string // compiled curve name fragment
+	}{
+		{`{"kind":"constant","level":2}`, "constant(2)"},
+		{`{"kind":"ramp","from":1,"to":3,"overS":10}`, "ramp(1→3"},
+		{`{"kind":"burst","base":0.5,"peak":4,"startS":5,"durationS":2,"everyS":20}`, "burst("},
+		{`{"kind":"sine","base":1,"amplitude":0.5,"periodS":8}`, "sine("},
+		{`{"kind":"piecewise","points":[{"tS":0,"level":1},{"tS":2,"level":3}]}`, "piecewise(2 points)"},
+		{`{"kind":"preset","preset":"diurnal"}`, "sine("},
+		{`{"kind":"preset","preset":"burst-storm"}`, "burst("},
+	}
+	for _, tc := range cases {
+		var s Spec
+		if err := json.Unmarshal([]byte(tc.src), &s); err != nil {
+			t.Fatalf("unmarshal %s: %v", tc.src, err)
+		}
+		c, err := s.Curve()
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if !strings.Contains(c.Name(), tc.name) {
+			t.Errorf("%s compiled to %s, want %s…", tc.src, c.Name(), tc.name)
+		}
+	}
+}
+
+func TestSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no kind", `{}`, "needs a kind"},
+		{"unknown kind", `{"kind":"square"}`, "unknown kind"},
+		{"unknown preset", `{"kind":"preset","preset":"lunar"}`, "unknown preset"},
+		{"stray preset", `{"kind":"sine","preset":"diurnal","base":1,"amplitude":1,"periodS":4}`, "kind \"sine\""},
+		{"negative level", `{"kind":"constant","level":-1}`, "positive"},
+		{"zero piecewise", `{"kind":"piecewise","points":[]}`, "at least one"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Spec
+			if err := json.Unmarshal([]byte(tc.src), &s); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			_, err := s.Curve()
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPresetOverride(t *testing.T) {
+	// The diurnal preset restretched to a 40-second period keeps its other
+	// parameters.
+	s := Spec{Kind: "preset", Preset: "diurnal", PeriodS: 40}
+	c, err := s.Curve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sine, ok := c.(Sine)
+	if !ok {
+		t.Fatalf("compiled to %T, want Sine", c)
+	}
+	if sine.Period != 40*sim.Second {
+		t.Errorf("period = %v, want 40s (the override)", sine.Period)
+	}
+	base, _ := Preset("diurnal")
+	if sine.Base != base.Base || sine.Amplitude != base.Amplitude {
+		t.Errorf("base/amplitude %g/%g lost the preset values %g/%g",
+			sine.Base, sine.Amplitude, base.Base, base.Amplitude)
+	}
+}
+
+func TestPresetRoundTripThroughJSON(t *testing.T) {
+	// A preset spec marshals, re-parses, and compiles to the identical
+	// curve: the declarative form is a faithful wire format.
+	for _, name := range Presets() {
+		s := Spec{Kind: "preset", Preset: name}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var back Spec
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&back); err != nil {
+			t.Fatalf("%s: re-parse: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("%s: round trip changed the spec: %+v vs %+v", name, s, back)
+		}
+		c1, err1 := s.Curve()
+		c2, err2 := back.Curve()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: compile: %v / %v", name, err1, err2)
+		}
+		if !reflect.DeepEqual(c1, c2) {
+			t.Errorf("%s: round-tripped spec compiles to a different curve", name)
+		}
+		for tm := sim.Time(0); tm < 120*sim.Second; tm += 997 * sim.Millisecond {
+			if c1.At(tm) != c2.At(tm) {
+				t.Fatalf("%s: curves diverge at %v", name, tm)
+			}
+		}
+	}
+}
+
+func TestPresetsAllValid(t *testing.T) {
+	for _, name := range Presets() {
+		s, ok := Preset(name)
+		if !ok {
+			t.Fatalf("Preset(%q) not found though listed", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := Preset("no-such"); ok {
+		t.Error("Preset resolved an unknown name")
+	}
+}

@@ -22,6 +22,11 @@ func FuzzParseSpec(f *testing.F) {
 		"failures": {"process": "weibull", "mtbfS": 2, "shape": 0.5}, "groupMax": 3}`))
 	f.Add([]byte(`{"scales": [0]}`))
 	f.Add([]byte(`{"workload": {"kind": "sp"}, "scales": [9]} trailing`))
+	f.Add([]byte(`{"workload": {"kind": "synthetic"}, "scales": [8],
+		"failures": {"process": "poisson", "mtbfS": 2, "pattern": {"preset": "burst-storm"}}}`))
+	f.Add([]byte(`{"scales": [16], "modes": ["GP1"], "checkpoint": {"intervalS": 2},
+		"jobs": {"count": 3, "meanInterarrivalS": 5, "placement": "grouped",
+			"templates": [{"kind": "synthetic", "iters": 5, "ranks": 4}]}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Parse(bytes.NewReader(data))
 		if err != nil {
@@ -39,18 +44,27 @@ func FuzzParseSpec(f *testing.F) {
 			t.Fatalf("accepted spec has unresolvable cluster: %v", err)
 		}
 		// …and build every workload cell without panicking. Build is where
-		// unvalidated kinds and scales would explode at sweep time.
-		for _, n := range s.Scales {
-			if n > 1<<20 {
-				continue // building a billion-rank slice is Validate's job to allow, not ours to test
+		// unvalidated kinds and scales would explode at sweep time. A jobs
+		// spec has no top-level workload; its templates build instead.
+		if s.Jobs == nil {
+			for _, n := range s.Scales {
+				if n > 1<<20 {
+					continue // building a billion-rank slice is Validate's job to allow, not ours to test
+				}
+				if wl := s.Workload.Build(n); wl == nil || wl.Procs() <= 0 {
+					t.Fatalf("workload %q built nil/empty at scale %d", s.Workload.Kind, n)
+				}
 			}
-			if wl := s.Workload.Build(n); wl == nil || wl.Procs() <= 0 {
-				t.Fatalf("workload %q built nil/empty at scale %d", s.Workload.Kind, n)
+		} else {
+			for i, tp := range s.Jobs.Templates {
+				if wl := tp.Build(tp.Ranks); wl == nil || wl.Procs() <= 0 {
+					t.Fatalf("jobs template %d (%q) built nil/empty at %d ranks", i, tp.Kind, tp.Ranks)
+				}
 			}
 		}
 		if s.Failures != nil {
-			if p := s.Failures.process(); p == nil {
-				t.Fatal("accepted failure spec produced nil process")
+			if p, err := s.Failures.process(); err != nil || p == nil {
+				t.Fatalf("accepted failure spec produced process %v, err %v", p, err)
 			}
 		}
 		// …and round-trip: a spec the engine accepted must re-parse to an

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestClusterBurstGolden pins the cluster-burst builtin byte-for-byte — the
+// multi-job stream, pattern-modulated arrivals and failures, and grouped
+// placement all sit under this one 4096-node cell, and the golden's
+// lost_group_s / lost_global_s columns pin the group-vs-global restart
+// comparison under bursty failures. The same table must come back at every
+// worker count, both across sweep cells and inside each inner run's
+// partitioned kernel (the 2048-rank jobs partition by checkpoint group).
+// Regenerate after an intentional change with
+// UPDATE_GOLDEN=1 go test ./internal/scenario -run TestClusterBurstGolden
+func TestClusterBurstGolden(t *testing.T) {
+	s, ok := BuiltIn("cluster-burst")
+	if !ok {
+		t.Fatal("cluster-burst builtin missing")
+	}
+	if len(s.Scales) == 0 || s.Scales[0] < 4096 {
+		t.Fatalf("cluster-burst scales %v below the 4096-node floor", s.Scales)
+	}
+
+	type cfg struct {
+		workers    int
+		runWorkers int
+	}
+	cfgs := []cfg{
+		{workers: 1, runWorkers: 1},
+		{workers: 4, runWorkers: 4},
+		{workers: runtime.NumCPU(), runWorkers: runtime.NumCPU()},
+	}
+	var first string
+	for _, c := range cfgs {
+		tb, err := s.RunObserved(context.Background(), c.workers,
+			Instrument{RunWorkers: c.runWorkers}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d runWorkers=%d: %v", c.workers, c.runWorkers, err)
+		}
+		got := tb.String()
+		if first == "" {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("output differs at workers=%d runWorkers=%d\n--- first\n%s--- got\n%s",
+				c.workers, c.runWorkers, first, got)
+		}
+	}
+
+	const path = "testdata/cluster-burst.golden"
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(path, []byte(first), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != string(want) {
+		t.Errorf("cluster-burst output drifted from golden (regenerate with UPDATE_GOLDEN=1 if intentional)\n--- want\n%s--- got\n%s", want, first)
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/failure"
 	"repro/internal/harness"
+	"repro/internal/jobs"
+	"repro/internal/pattern"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -37,6 +39,13 @@ type Spec struct {
 	Modes      []string       `json:"modes,omitempty"` // default ["GP","NORM"]
 	Checkpoint CheckpointSpec `json:"checkpoint"`
 	Failures   *FailureSpec   `json:"failures,omitempty"`
+
+	// Jobs switches the sweep from single-application cells to cluster
+	// cells: each cell simulates a stream of jobs (each an inner harness
+	// run) arriving, queueing, and departing on a cluster of Scales nodes.
+	// When set, Workload must be empty — the job templates carry the
+	// per-job workloads — and Scales are node counts, not rank counts.
+	Jobs *JobsSpec `json:"jobs,omitempty"`
 
 	// Reps is the repetitions per cell (default 2).
 	Reps int `json:"reps,omitempty"`
@@ -66,7 +75,10 @@ type ClusterSpec struct {
 	JitterFrac    *float64 `json:"jitterFrac,omitempty"` // pointer: 0 disables jitter
 }
 
-// Config resolves the spec to a hardware model.
+// Config resolves the spec to a hardware model. A negative override is a
+// spec bug, never a hardware model: it is rejected with the field name
+// rather than silently falling back to the profile value (the same
+// loud-failure contract DisallowUnknownFields gives typoed keys).
 func (c ClusterSpec) Config() (cluster.Config, error) {
 	profile := c.Profile
 	if profile == "" {
@@ -76,6 +88,21 @@ func (c ClusterSpec) Config() (cluster.Config, error) {
 	if !ok {
 		return cluster.Config{}, fmt.Errorf("unknown cluster profile %q (have %s)",
 			c.Profile, strings.Join(cluster.Profiles(), ", "))
+	}
+	for _, ov := range []struct {
+		field string
+		v     float64
+	}{
+		{"gflops", c.GFlops},
+		{"nicMBps", c.NICMBps},
+		{"latencyUs", c.LatencyUs},
+		{"diskWriteMBps", c.DiskWriteMBps},
+		{"diskReadMBps", c.DiskReadMBps},
+	} {
+		if ov.v < 0 {
+			return cluster.Config{}, fmt.Errorf("cluster override %s=%g negative; omit the field to keep the %s profile value",
+				ov.field, ov.v, profile)
+		}
 	}
 	if c.GFlops > 0 {
 		cfg.FlopRate = c.GFlops * 1e9
@@ -93,6 +120,9 @@ func (c ClusterSpec) Config() (cluster.Config, error) {
 		cfg.DiskRead = c.DiskReadMBps * 1e6
 	}
 	if c.JitterFrac != nil {
+		if *c.JitterFrac < 0 {
+			return cluster.Config{}, fmt.Errorf("cluster override jitterFrac=%g negative; use 0 to disable jitter", *c.JitterFrac)
+		}
 		cfg.JitterFrac = *c.JitterFrac
 	}
 	return cfg, nil
@@ -209,23 +239,70 @@ func (c CheckpointSpec) schedule() harness.Schedule {
 type FailureSpec struct {
 	Process string  `json:"process"`         // poisson | weibull
 	MTBFS   float64 `json:"mtbfS"`           // mean time between failures, seconds
-	Shape   float64 `json:"shape,omitempty"` // weibull shape (default 0.7)
+	Shape   float64 `json:"shape,omitempty"` // weibull shape (weibull only; default 0.7)
 	Max     int     `json:"max,omitempty"`   // cap per run (default failure.DefaultMaxFailures)
+	// Pattern modulates the process's intensity over virtual time — a
+	// pattern.Spec curve or preset (e.g. {"preset": "burst-storm"}). The
+	// base process is thinned against the curve, so failures cluster in
+	// bursts and thin out in valleys while staying deterministic per seed.
+	Pattern *pattern.Spec `json:"pattern,omitempty"`
 }
 
-func (f *FailureSpec) process() failure.Process {
+func (f *FailureSpec) process() (failure.Process, error) {
 	mtbf := sim.Seconds(f.MTBFS)
+	var base failure.Process
 	switch f.Process {
 	case "poisson":
-		return failure.Poisson{MTBF: mtbf}
+		base = failure.Poisson{MTBF: mtbf}
 	case "weibull":
 		shape := f.Shape
 		if shape == 0 {
 			shape = 0.7
 		}
-		return failure.Weibull{Shape: shape, MTBF: mtbf}
+		w, err := failure.NewWeibull(shape, mtbf)
+		if err != nil {
+			return nil, err
+		}
+		base = w
+	default:
+		panic("scenario: process on unvalidated failure spec " + f.Process)
 	}
-	panic("scenario: process on unvalidated failure spec " + f.Process)
+	if f.Pattern == nil {
+		return base, nil
+	}
+	curve, err := f.Pattern.Curve()
+	if err != nil {
+		return nil, err
+	}
+	return failure.NewModulated(base, curve)
+}
+
+// JobsSpec switches a scenario to cluster cells: a stream of Count jobs
+// arriving on a (possibly pattern-modulated) Poisson stream, placed on the
+// cell's nodes by a placement policy, each simulated as an inner harness run
+// under the cell's mode, checkpoint schedule, and failure process.
+type JobsSpec struct {
+	// Count is the number of jobs per cell.
+	Count int `json:"count"`
+	// MeanInterarrivalS is the base mean gap between arrivals, seconds.
+	MeanInterarrivalS float64 `json:"meanInterarrivalS"`
+	// Arrivals optionally modulates the arrival intensity over time.
+	Arrivals *pattern.Spec `json:"arrivals,omitempty"`
+	// Placement is "firstfit" (default; scatters) or "grouped" (contiguous
+	// blocks only — checkpoint groups stay co-located at the cost of queue
+	// time).
+	Placement string `json:"placement,omitempty"`
+	// Templates is the job mix; each carries its own workload.
+	Templates []JobTemplateSpec `json:"templates"`
+}
+
+// JobTemplateSpec is one job class: a workload plus its size and mix weight.
+type JobTemplateSpec struct {
+	WorkloadSpec
+	// Ranks is the job's node count (one rank per node), ≤ every scale.
+	Ranks int `json:"ranks"`
+	// Weight is the class's relative draw frequency (default 1).
+	Weight int `json:"weight,omitempty"`
 }
 
 var validModes = map[harness.Mode]bool{
@@ -255,6 +332,22 @@ func (s *Spec) applyDefaults() {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.Jobs != nil {
+		// Copy-on-write: Canonical and the gb facade default a shallow copy
+		// of the spec, so defaults must never write through the shared
+		// pointer into the caller's jobs block.
+		j := *s.Jobs
+		j.Templates = append([]JobTemplateSpec(nil), j.Templates...)
+		if j.Placement == "" {
+			j.Placement = "firstfit"
+		}
+		for i := range j.Templates {
+			if j.Templates[i].Weight == 0 {
+				j.Templates[i].Weight = 1
+			}
+		}
+		s.Jobs = &j
+	}
 }
 
 // Validate checks the spec after defaulting. All errors name the offending
@@ -263,10 +356,6 @@ func (s *Spec) Validate() error {
 	if _, err := s.Cluster.Config(); err != nil {
 		return fmt.Errorf("scenario %q: cluster: %w", s.Name, err)
 	}
-	checkScale, ok := workloadKinds[s.Workload.Kind]
-	if !ok {
-		return fmt.Errorf("scenario %q: unknown workload kind %q (have synthetic, hpl, cg, sp)", s.Name, s.Workload.Kind)
-	}
 	if len(s.Scales) == 0 {
 		return fmt.Errorf("scenario %q: scales must list at least one rank count", s.Name)
 	}
@@ -274,8 +363,25 @@ func (s *Spec) Validate() error {
 		if n <= 0 {
 			return fmt.Errorf("scenario %q: scale %d not positive", s.Name, n)
 		}
-		if err := checkScale(n); err != nil {
-			return fmt.Errorf("scenario %q: scale %d: %w", s.Name, n, err)
+	}
+	if s.Jobs != nil {
+		// Cluster cells: scales are node counts, templates carry the
+		// workloads — a top-level workload would be silently dead weight.
+		if s.Workload != (WorkloadSpec{}) {
+			return fmt.Errorf("scenario %q: workload must be empty when jobs is set (job templates carry per-job workloads)", s.Name)
+		}
+		if err := s.validateJobs(); err != nil {
+			return err
+		}
+	} else {
+		checkScale, ok := workloadKinds[s.Workload.Kind]
+		if !ok {
+			return fmt.Errorf("scenario %q: unknown workload kind %q (have synthetic, hpl, cg, sp)", s.Name, s.Workload.Kind)
+		}
+		for _, n := range s.Scales {
+			if err := checkScale(n); err != nil {
+				return fmt.Errorf("scenario %q: scale %d: %w", s.Name, n, err)
+			}
 		}
 	}
 	for _, m := range s.Modes {
@@ -300,15 +406,69 @@ func (s *Spec) Validate() error {
 		if f.MTBFS <= 0 {
 			return fmt.Errorf("scenario %q: failure mtbfS %.3f must be positive", s.Name, f.MTBFS)
 		}
+		if f.Process == "poisson" && f.Shape != 0 {
+			// A memoryless process has no shape: accepting the field would
+			// silently run a different experiment than the author wrote.
+			return fmt.Errorf("scenario %q: failure shape %.3f set with process \"poisson\"; shape is a weibull parameter — remove it or set process to \"weibull\"", s.Name, f.Shape)
+		}
 		if f.Shape < 0 {
 			return fmt.Errorf("scenario %q: failure shape %.3f negative", s.Name, f.Shape)
 		}
 		if f.Max < 0 {
 			return fmt.Errorf("scenario %q: failure max %d negative", s.Name, f.Max)
 		}
+		if f.Pattern != nil {
+			if err := f.Pattern.Validate(); err != nil {
+				return fmt.Errorf("scenario %q: failure pattern: %w", s.Name, err)
+			}
+		}
 	}
 	if s.GroupMax < 0 || s.RemoteServers < 0 {
 		return fmt.Errorf("scenario %q: groupMax and remoteServers must be non-negative", s.Name)
+	}
+	return nil
+}
+
+// validateJobs checks the jobs block against the scales (node counts).
+func (s *Spec) validateJobs() error {
+	j := s.Jobs
+	if j.Count < 1 {
+		return fmt.Errorf("scenario %q: jobs count %d, need ≥ 1", s.Name, j.Count)
+	}
+	if j.MeanInterarrivalS <= 0 {
+		return fmt.Errorf("scenario %q: jobs meanInterarrivalS %.3f must be positive", s.Name, j.MeanInterarrivalS)
+	}
+	if j.Arrivals != nil {
+		if err := j.Arrivals.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: jobs arrivals: %w", s.Name, err)
+		}
+	}
+	if _, err := jobs.PolicyNamed(j.Placement); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if len(j.Templates) == 0 {
+		return fmt.Errorf("scenario %q: jobs templates must list at least one job class", s.Name)
+	}
+	minScale := s.Scales[0]
+	for _, n := range s.Scales {
+		if n < minScale {
+			minScale = n
+		}
+	}
+	for i, tp := range j.Templates {
+		checkScale, ok := workloadKinds[tp.Kind]
+		if !ok {
+			return fmt.Errorf("scenario %q: jobs template %d: unknown workload kind %q (have synthetic, hpl, cg, sp)", s.Name, i, tp.Kind)
+		}
+		if tp.Ranks < 1 || tp.Ranks > minScale {
+			return fmt.Errorf("scenario %q: jobs template %d (%s): ranks %d, need 1..%d (smallest scale)", s.Name, i, tp.Kind, tp.Ranks, minScale)
+		}
+		if err := checkScale(tp.Ranks); err != nil {
+			return fmt.Errorf("scenario %q: jobs template %d: %w", s.Name, i, err)
+		}
+		if tp.Weight < 1 {
+			return fmt.Errorf("scenario %q: jobs template %d (%s): weight %d, need ≥ 1", s.Name, i, tp.Kind, tp.Weight)
+		}
 	}
 	return nil
 }

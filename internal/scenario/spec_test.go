@@ -83,6 +83,30 @@ func TestValidateErrors(t *testing.T) {
 		{"negative max", `{"workload": {"kind": "synthetic"}, "scales": [8], "failures": {"process": "poisson", "mtbfS": 3, "max": -1}}`, "max"},
 		{"vcl with failures", `{"workload": {"kind": "synthetic"}, "scales": [8], "modes": ["VCL"], "failures": {"process": "poisson", "mtbfS": 3}}`, "group-based"},
 		{"negative groupMax", `{"workload": {"kind": "synthetic"}, "scales": [8], "groupMax": -2}`, "non-negative"},
+		// Negative hardware overrides must fail loudly, not silently keep
+		// the profile value.
+		{"negative nicMBps", `{"cluster": {"nicMBps": -100}, "workload": {"kind": "synthetic"}, "scales": [8]}`, "nicMBps"},
+		{"negative gflops", `{"cluster": {"gflops": -1}, "workload": {"kind": "synthetic"}, "scales": [8]}`, "gflops"},
+		{"negative latencyUs", `{"cluster": {"latencyUs": -40}, "workload": {"kind": "synthetic"}, "scales": [8]}`, "latencyUs"},
+		{"negative diskWriteMBps", `{"cluster": {"diskWriteMBps": -5}, "workload": {"kind": "synthetic"}, "scales": [8]}`, "diskWriteMBps"},
+		{"negative diskReadMBps", `{"cluster": {"diskReadMBps": -5}, "workload": {"kind": "synthetic"}, "scales": [8]}`, "diskReadMBps"},
+		{"negative jitterFrac", `{"cluster": {"jitterFrac": -0.1}, "workload": {"kind": "synthetic"}, "scales": [8]}`, "jitterFrac"},
+		// Shape is a weibull parameter; with poisson it would silently run a
+		// different experiment than the author wrote.
+		{"shape with poisson", `{"workload": {"kind": "synthetic"}, "scales": [8], "failures": {"process": "poisson", "mtbfS": 3, "shape": 0.7}}`, "weibull parameter"},
+		{"bad pattern kind", `{"workload": {"kind": "synthetic"}, "scales": [8], "failures": {"process": "poisson", "mtbfS": 3, "pattern": {"kind": "sawtooth"}}}`, "pattern"},
+		{"bad pattern preset", `{"workload": {"kind": "synthetic"}, "scales": [8], "failures": {"process": "poisson", "mtbfS": 3, "pattern": {"preset": "no-such"}}}`, "preset"},
+		// Jobs-block validation.
+		{"jobs with workload", `{"workload": {"kind": "synthetic"}, "scales": [8], "jobs": {"count": 2, "meanInterarrivalS": 5, "templates": [{"kind": "synthetic", "ranks": 2}]}}`, "workload must be empty"},
+		{"jobs zero count", `{"scales": [8], "jobs": {"count": 0, "meanInterarrivalS": 5, "templates": [{"kind": "synthetic", "ranks": 2}]}}`, "count"},
+		{"jobs zero interarrival", `{"scales": [8], "jobs": {"count": 2, "templates": [{"kind": "synthetic", "ranks": 2}]}}`, "meanInterarrivalS"},
+		{"jobs no templates", `{"scales": [8], "jobs": {"count": 2, "meanInterarrivalS": 5}}`, "at least one job class"},
+		{"jobs bad placement", `{"scales": [8], "jobs": {"count": 2, "meanInterarrivalS": 5, "placement": "backfill", "templates": [{"kind": "synthetic", "ranks": 2}]}}`, "placement"},
+		{"jobs ranks over scale", `{"scales": [8], "jobs": {"count": 2, "meanInterarrivalS": 5, "templates": [{"kind": "synthetic", "ranks": 16}]}}`, "smallest scale"},
+		{"jobs bad template kind", `{"scales": [8], "jobs": {"count": 2, "meanInterarrivalS": 5, "templates": [{"kind": "linpack", "ranks": 2}]}}`, "unknown workload kind"},
+		{"jobs template scale rule", `{"scales": [16], "jobs": {"count": 2, "meanInterarrivalS": 5, "templates": [{"kind": "cg", "ranks": 12}]}}`, "power-of-two"},
+		{"jobs negative weight", `{"scales": [8], "jobs": {"count": 2, "meanInterarrivalS": 5, "templates": [{"kind": "synthetic", "ranks": 2, "weight": -1}]}}`, "weight"},
+		{"jobs bad arrivals", `{"scales": [8], "jobs": {"count": 2, "meanInterarrivalS": 5, "arrivals": {"kind": "constant", "level": -1}, "templates": [{"kind": "synthetic", "ranks": 2}]}}`, "arrivals"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -113,6 +137,69 @@ func TestClusterOverrides(t *testing.T) {
 	// Unset knobs keep the profile's values.
 	if cfg.MemBytes != cluster.Modern().MemBytes {
 		t.Errorf("MemBytes = %d, want profile default", cfg.MemBytes)
+	}
+}
+
+func TestPatternedFailureSpec(t *testing.T) {
+	s := parse(t, `{
+		"workload": {"kind": "synthetic"},
+		"scales": [8],
+		"checkpoint": {"intervalS": 2},
+		"failures": {"process": "poisson", "mtbfS": 3, "pattern": {"preset": "burst-storm"}}
+	}`)
+	p, err := s.Failures.process()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Name(), "burst") {
+		t.Errorf("process name %q does not mention the curve", p.Name())
+	}
+	// Round trip: the pattern spec must survive Marshal → Parse.
+	out, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-parse of marshalled patterned spec: %v", err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed the spec:\n%+v\nvs\n%+v", s, back)
+	}
+}
+
+func TestJobsSpecDefaultsAndRoundTrip(t *testing.T) {
+	s := parse(t, `{
+		"scales": [16],
+		"modes": ["GP1"],
+		"checkpoint": {"intervalS": 2},
+		"jobs": {
+			"count": 4,
+			"meanInterarrivalS": 5,
+			"arrivals": {"preset": "burst-storm"},
+			"templates": [
+				{"kind": "synthetic", "iters": 5, "ranks": 4},
+				{"kind": "synthetic", "iters": 10, "ranks": 8, "weight": 2}
+			]
+		}
+	}`)
+	if s.Jobs.Placement != "firstfit" {
+		t.Errorf("placement default = %q, want firstfit", s.Jobs.Placement)
+	}
+	if s.Jobs.Templates[0].Weight != 1 || s.Jobs.Templates[1].Weight != 2 {
+		t.Errorf("template weights = %d/%d, want 1/2",
+			s.Jobs.Templates[0].Weight, s.Jobs.Templates[1].Weight)
+	}
+	out, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-parse of marshalled jobs spec: %v", err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip changed the spec:\n%+v\nvs\n%+v", s, back)
 	}
 }
 

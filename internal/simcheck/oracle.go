@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/jobs"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -81,6 +83,12 @@ func (r *Report) Ok() bool { return len(r.Violations) == 0 }
 //   - failure accounting: each injected failure loses no more work under
 //     group restart than under global restart, and strikes exactly the
 //     formation group of the failed node;
+//   - job-stream integrity (cluster cells, specs with a jobs block): jobs
+//     arrive in strictly increasing order, start FIFO at or after arrival,
+//     occupy exactly their rank count of nodes exclusively while running,
+//     grouped placement stays contiguous, each job's group-restart loss
+//     never exceeds its global-restart loss, and the aggregates (makespan,
+//     utilization, wait and failure sums) match the per-job reports;
 //   - liveness: every cell finishes before a generous virtual-time
 //     horizon — a dropped delivery starving a receiver under periodic
 //     checkpointing never drains the event queue, so without a horizon
@@ -177,7 +185,13 @@ func runWorkerCounts() []int {
 }
 
 // checkCell verifies every per-cell invariant and returns the violations.
+// A cluster cell (res.Jobs != nil) aggregates a stream of inner runs the
+// Inspect observers never see, so it is checked against the job-stream
+// invariants instead of the transport ones.
 func checkCell(c scenario.Cell, res *harness.Result) []string {
+	if res.Jobs != nil {
+		return checkJobs(c, res.Jobs)
+	}
 	var v []string
 	fail := func(format string, args ...any) {
 		v = append(v, fmt.Sprintf("cell{n=%d %s rep=%d seed=%d}: ", c.Scale, c.Mode, c.Rep, c.Seed)+
@@ -287,6 +301,137 @@ func checkCell(c scenario.Cell, res *harness.Result) []string {
 		}
 	}
 	return v
+}
+
+// checkJobs verifies the job-stream invariants on a cluster cell: the
+// queueing engine's FIFO and placement contracts, per-job lifecycle algebra,
+// exclusive node occupancy, and the aggregate accounting — including the
+// cluster-level face of the paper's claim, per-job WorkLossGrp ≤ WorkLossGlb.
+func checkJobs(c scenario.Cell, jr *jobs.Result) []string {
+	var v []string
+	fail := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf("cell{n=%d %s rep=%d seed=%d}: ", c.Scale, c.Mode, c.Rep, c.Seed)+
+			fmt.Sprintf(format, args...))
+	}
+
+	if len(jr.Jobs) != jr.Spec.Count {
+		fail("jobs: %d reports for a %d-job stream", len(jr.Jobs), jr.Spec.Count)
+	}
+	var lastArrival, lastStart, maxEnd, maxWait sim.Time
+	var failures int
+	var lossGrp, lossGlb sim.Time
+	for i := range jr.Jobs {
+		j := &jr.Jobs[i]
+		if j.ID != i {
+			fail("job %d: report holds id %d", i, j.ID)
+		}
+		if i > 0 && j.Arrival <= lastArrival {
+			fail("job %d: arrival %v not after job %d's %v", i, j.Arrival, i-1, lastArrival)
+		}
+		lastArrival = j.Arrival
+		if j.Start < j.Arrival {
+			fail("job %d: started at %v before its arrival %v", i, j.Start, j.Arrival)
+		}
+		if j.Start < lastStart {
+			fail("job %d: started at %v before its FIFO predecessor's %v", i, j.Start, lastStart)
+		}
+		lastStart = j.Start
+		if j.Wait != j.Start-j.Arrival {
+			fail("job %d: wait %v ≠ start %v − arrival %v", i, j.Wait, j.Start, j.Arrival)
+		}
+		if j.Exec <= 0 || j.Loss < 0 || j.WorkLossGrp < 0 || j.WorkLossGlb < 0 || j.ReplayBytes < 0 {
+			fail("job %d: negative accounting: exec=%v loss=%v grp=%v glb=%v replay=%d",
+				i, j.Exec, j.Loss, j.WorkLossGrp, j.WorkLossGlb, j.ReplayBytes)
+		}
+		if j.End != j.Start+j.Exec+j.Loss {
+			fail("job %d: end %v ≠ start %v + exec %v + loss %v", i, j.End, j.Start, j.Exec, j.Loss)
+		}
+		if j.WorkLossGrp > j.WorkLossGlb {
+			fail("job %d: group restart loses %v, more than global restart's %v", i, j.WorkLossGrp, j.WorkLossGlb)
+		}
+		if len(j.Nodes) != j.Ranks {
+			fail("job %d: %d nodes assigned for %d ranks", i, len(j.Nodes), j.Ranks)
+		}
+		for k, n := range j.Nodes {
+			if n < 0 || n >= c.Scale {
+				fail("job %d: node %d outside the %d-node cluster", i, n, c.Scale)
+			}
+			if k > 0 && n <= j.Nodes[k-1] {
+				fail("job %d: nodes %v not strictly ascending", i, j.Nodes)
+			}
+		}
+		if frags := nodeRuns(j.Nodes); j.Fragments != frags {
+			fail("job %d: reports %d fragments but nodes %v form %d contiguous runs", i, j.Fragments, j.Nodes, frags)
+		} else if jr.Placement == "grouped" && frags != 1 {
+			fail("job %d: grouped placement yielded %d fragments (nodes %v)", i, frags, j.Nodes)
+		}
+		if j.End > maxEnd {
+			maxEnd = j.End
+		}
+		if j.Wait > maxWait {
+			maxWait = j.Wait
+		}
+		failures += j.Failures
+		lossGrp += j.WorkLossGrp
+		lossGlb += j.WorkLossGlb
+	}
+
+	// Exclusive occupancy: two jobs alive at once never share a node.
+	// Occupancy intervals are half-open, so a departure may hand its nodes
+	// to a same-instant start.
+	for a := 0; a < len(jr.Jobs); a++ {
+		for b := a + 1; b < len(jr.Jobs); b++ {
+			ja, jb := &jr.Jobs[a], &jr.Jobs[b]
+			if ja.Start >= jb.End || jb.Start >= ja.End {
+				continue
+			}
+			if shareNode(ja.Nodes, jb.Nodes) {
+				fail("jobs %d and %d overlap in time and share nodes (%v vs %v)", a, b, ja.Nodes, jb.Nodes)
+			}
+		}
+	}
+
+	if jr.Makespan != maxEnd {
+		fail("jobs: makespan %v ≠ last departure %v", jr.Makespan, maxEnd)
+	}
+	if jr.MaxWait != maxWait {
+		fail("jobs: max wait %v ≠ observed %v", jr.MaxWait, maxWait)
+	}
+	if jr.Failures != failures || jr.WorkLossGrp != lossGrp || jr.WorkLossGlb != lossGlb {
+		fail("jobs: aggregate failures %d/%v/%v ≠ per-job sums %d/%v/%v",
+			jr.Failures, jr.WorkLossGrp, jr.WorkLossGlb, failures, lossGrp, lossGlb)
+	}
+	if !(jr.Utilization > 0 && jr.Utilization <= 1+1e-9) {
+		fail("jobs: utilization %g outside (0, 1]", jr.Utilization)
+	}
+	return v
+}
+
+// nodeRuns counts contiguous runs in an ascending node list.
+func nodeRuns(nodes []int) int {
+	runs := 0
+	for i, n := range nodes {
+		if i == 0 || n != nodes[i-1]+1 {
+			runs++
+		}
+	}
+	return runs
+}
+
+// shareNode reports whether two ascending node lists intersect.
+func shareNode(a, b []int) bool {
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		switch {
+		case a[i] == b[k]:
+			return true
+		case a[i] < b[k]:
+			i++
+		default:
+			k++
+		}
+	}
+	return false
 }
 
 // checkCuts verifies the in-group cut equality: for every epoch and every

@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/pattern"
 	"repro/internal/scenario"
 )
 
@@ -51,18 +52,28 @@ func Generate(seed int64, cfg GenConfig) *scenario.Spec {
 	rng := rand.New(rand.NewSource(seed))
 	max := cfg.maxRanks()
 
-	kind := pick(rng, []string{"synthetic", "synthetic", "cg", "sp", "hpl"})
-	scales := genScales(rng, kind, max)
-	maxScale := scales[len(scales)-1]
-
 	s := &scenario.Spec{
-		Name:     fmt.Sprintf("gen-%d", seed),
-		Notes:    fmt.Sprintf("simcheck-generated (seed %d, maxRanks %d)", seed, max),
-		Cluster:  genCluster(rng),
-		Workload: genWorkload(rng, kind),
-		Scales:   scales,
-		Reps:     1 + rng.Intn(2),
-		Seed:     1 + rng.Int63n(1_000_000),
+		Name:    fmt.Sprintf("gen-%d", seed),
+		Notes:   fmt.Sprintf("simcheck-generated (seed %d, maxRanks %d)", seed, max),
+		Cluster: genCluster(rng),
+		Reps:    1 + rng.Intn(2),
+		Seed:    1 + rng.Int63n(1_000_000),
+	}
+
+	// ~20% of scenarios are cluster cells: a small job stream instead of a
+	// single application, with scales meaning node counts. innerMax is the
+	// widest single simulation a cell actually runs — the largest job
+	// template for streams, the largest scale otherwise — and is what the
+	// mode menu gates on.
+	var innerMax int
+	if rng.Intn(5) == 0 {
+		s.Scales = genNodeCounts(rng, max)
+		s.Jobs, innerMax = genJobs(rng, s.Scales[0])
+	} else {
+		kind := pick(rng, []string{"synthetic", "synthetic", "cg", "sp", "hpl"})
+		s.Scales = genScales(rng, kind, max)
+		s.Workload = genWorkload(rng, kind)
+		innerMax = s.Scales[len(s.Scales)-1]
 	}
 
 	// Failure processes ride on ~60% of scenarios. Deciding before the
@@ -81,9 +92,20 @@ func Generate(seed int64, cfg GenConfig) *scenario.Spec {
 		if rng.Intn(3) == 0 {
 			f.Max = 4 + rng.Intn(28)
 		}
+		// Time-varying intensity rides on ~40% of failure processes.
+		// Thinning accelerates the base process by the curve's peak, so
+		// stretch the MTBF by it: the effective peak rate stays inside the
+		// stationary generator's envelope and cells keep finishing well
+		// under the horizon.
+		if rng.Intn(5) < 2 {
+			f.Pattern = genPattern(rng)
+			if c, err := f.Pattern.Curve(); err == nil {
+				f.MTBFS *= math.Max(1, c.Max())
+			}
+		}
 		s.Failures = f
 	}
-	s.Modes = genModes(rng, maxScale, s.Failures == nil)
+	s.Modes = genModes(rng, innerMax, s.Failures == nil)
 	s.Checkpoint = genCheckpoint(rng)
 
 	if rng.Intn(4) == 0 {
@@ -133,10 +155,12 @@ func genScales(rng *rand.Rand, kind string, max int) []int {
 	return scales
 }
 
-// genModes draws a non-empty mode subset sized to the scenario's largest
-// scale: global coordination (NORM) and wide ad-hoc groups (GP4) checkpoint
-// continuously past a few hundred ranks (the paper's pathology), and GP's
-// tracing pass is only cheap up to ~512 ranks, so big scales stick to GP1.
+// genModes draws a non-empty mode subset sized to the widest single
+// simulation a cell runs (the largest scale, or the largest job template for
+// streams): global coordination (NORM) and wide ad-hoc groups (GP4)
+// checkpoint continuously past a few hundred ranks (the paper's pathology),
+// and GP's tracing pass is only cheap up to ~512 ranks, so big scales stick
+// to GP1.
 func genModes(rng *rand.Rand, maxScale int, allowVCL bool) []string {
 	eligible := []string{"GP1"}
 	if maxScale <= 512 {
@@ -218,6 +242,94 @@ func genWorkload(rng *rand.Rand, kind string) scenario.WorkloadSpec {
 		w.Problem = 1000 + rng.Intn(3000)
 	}
 	return w
+}
+
+// genNodeCounts draws one or two cluster sizes for a job-stream scenario,
+// ascending, each in [8, max] — big enough to place several small jobs at
+// once, bounded like every other scale.
+func genNodeCounts(rng *rand.Rand, max int) []int {
+	one := func() int { return 8 + rng.Intn(max-7) }
+	scales := []int{one()}
+	if rng.Intn(2) == 0 {
+		if n := one(); n != scales[0] {
+			scales = append(scales, n)
+		}
+	}
+	if len(scales) == 2 && scales[0] > scales[1] {
+		scales[0], scales[1] = scales[1], scales[0]
+	}
+	return scales
+}
+
+// genJobs draws a small job stream sized for quick cells: 2–4 jobs from one
+// or two synthetic templates, random placement policy, sometimes with
+// pattern-modulated arrivals. Returns the spec and the widest template — the
+// largest inner simulation a cell runs, which the mode menu gates on.
+func genJobs(rng *rand.Rand, minScale int) (*scenario.JobsSpec, int) {
+	j := &scenario.JobsSpec{
+		Count:             2 + rng.Intn(3),
+		MeanInterarrivalS: 0.3 + rng.Float64()*2.7,
+		Placement:         pick(rng, []string{"firstfit", "grouped"}),
+	}
+	if rng.Intn(2) == 0 {
+		j.Arrivals = genPattern(rng)
+	}
+	// Inner runs stay tiny: the cluster, not the job, is the scale under
+	// test, and every template must fit the smallest cluster.
+	rankCap := minScale
+	if rankCap > 8 {
+		rankCap = 8
+	}
+	innerMax := 0
+	for i, n := 0, 1+rng.Intn(2); i < n; i++ {
+		tp := scenario.JobTemplateSpec{
+			WorkloadSpec: genWorkload(rng, "synthetic"),
+			Ranks:        2 + rng.Intn(rankCap-1),
+			Weight:       1 + rng.Intn(3),
+		}
+		j.Templates = append(j.Templates, tp)
+		if tp.Ranks > innerMax {
+			innerMax = tp.Ranks
+		}
+	}
+	return j, innerMax
+}
+
+// genPattern draws a valid time-varying intensity curve: a named preset, or
+// a random parameterization of each curve family with peak levels bounded at
+// ~8× so modulated processes stay in the same regime the presets model.
+func genPattern(rng *rand.Rand) *pattern.Spec {
+	switch rng.Intn(6) {
+	case 0:
+		return &pattern.Spec{Kind: "preset", Preset: pick(rng, pattern.Presets())}
+	case 1:
+		return &pattern.Spec{Kind: "constant", Level: 0.25 + rng.Float64()*2}
+	case 2:
+		return &pattern.Spec{Kind: "ramp",
+			From: rng.Float64() * 2, To: 0.2 + rng.Float64()*2, OverS: 1 + rng.Float64()*20}
+	case 3:
+		p := &pattern.Spec{Kind: "burst",
+			Base: 0.1 + rng.Float64(), Peak: 2 + rng.Float64()*6,
+			StartS: rng.Float64() * 5, DurationS: 0.5 + rng.Float64()*3}
+		if rng.Intn(2) == 0 {
+			p.EveryS = p.DurationS + 1 + rng.Float64()*15
+		}
+		return p
+	case 4:
+		return &pattern.Spec{Kind: "sine",
+			Base: 0.5 + rng.Float64()*1.5, Amplitude: rng.Float64() * 2,
+			PeriodS: 2 + rng.Float64()*30, PhaseS: rng.Float64() * 10}
+	default:
+		n := 2 + rng.Intn(4)
+		pts := make([]pattern.PointSpec, n)
+		t := rng.Float64() * 2
+		for i := range pts {
+			pts[i] = pattern.PointSpec{TS: t, Level: rng.Float64() * 3}
+			t += 0.5 + rng.Float64()*5
+		}
+		pts[n-1].Level = 0.5 + rng.Float64()*2.5 // the majorant must be positive
+		return &pattern.Spec{Kind: "piecewise", Points: pts}
+	}
 }
 
 func pick(rng *rand.Rand, opts []string) string { return opts[rng.Intn(len(opts))] }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/group"
 	"repro/internal/harness"
+	"repro/internal/jobs"
 	"repro/internal/mlog"
 	"repro/internal/mpi"
 	"repro/internal/scenario"
@@ -159,6 +160,88 @@ func TestCheckCellDetectsDoctoredResults(t *testing.T) {
 	res.Logs[0].GC(1, 100)
 	res.Flows[0] = mpi.PairFlow{Src: 0, Dst: 1, Sent: 100, Recvd: 100, Consumed: 40}
 	mustViolate(t, res, "GC watermark")
+}
+
+// cleanJobsResult is a minimal cluster-cell result that passes every
+// job-stream check: two 2-rank jobs on a 4-node cluster, back to back in
+// arrival order, disjoint contiguous node blocks.
+func cleanJobsResult() *harness.Result {
+	return &harness.Result{Jobs: &jobs.Result{
+		Spec:      jobs.Spec{Nodes: 4, Count: 2},
+		Placement: "grouped",
+		Jobs: []jobs.JobReport{
+			{
+				Job:       jobs.Job{ID: 0, Ranks: 2, Arrival: 1 * sim.Second},
+				Outcome:   jobs.Outcome{Exec: 2 * sim.Second},
+				Start:     1 * sim.Second,
+				End:       3 * sim.Second,
+				Nodes:     []int{0, 1},
+				Fragments: 1,
+			},
+			{
+				Job:       jobs.Job{ID: 1, Ranks: 2, Arrival: 2 * sim.Second},
+				Outcome:   jobs.Outcome{Exec: 1 * sim.Second},
+				Start:     2 * sim.Second,
+				End:       3 * sim.Second,
+				Nodes:     []int{2, 3},
+				Fragments: 1,
+			},
+		},
+		Makespan:    3 * sim.Second,
+		Utilization: 0.5, // (2·2s + 2·1s) / (4 nodes · 3s)
+	}}
+}
+
+// TestCheckJobsDetectsDoctoredResults drives the cluster-cell checker with
+// hand-corrupted job streams, one invariant at a time.
+func TestCheckJobsDetectsDoctoredResults(t *testing.T) {
+	cell := scenario.Cell{Scale: 4, Mode: "GP1", Seed: 7}
+	if v := checkCell(cell, cleanJobsResult()); len(v) != 0 {
+		t.Fatalf("clean jobs result flagged: %q", v)
+	}
+	mustViolateJobs := func(want string, corrupt func(*jobs.Result)) {
+		t.Helper()
+		res := cleanJobsResult()
+		corrupt(res.Jobs)
+		v := checkCell(cell, res)
+		for _, s := range v {
+			if strings.Contains(s, want) {
+				return
+			}
+		}
+		t.Errorf("violations %q do not mention %q", v, want)
+	}
+
+	mustViolateJobs("3-job stream", func(r *jobs.Result) { r.Spec.Count = 3 })
+	mustViolateJobs("not after job", func(r *jobs.Result) { r.Jobs[1].Arrival = 500 * sim.Millisecond })
+	mustViolateJobs("before its arrival", func(r *jobs.Result) { r.Jobs[1].Arrival = 2500 * sim.Millisecond })
+	mustViolateJobs("FIFO predecessor", func(r *jobs.Result) {
+		r.Jobs[1].Start = 500 * sim.Millisecond
+		r.Jobs[1].Arrival = 500 * sim.Millisecond
+	})
+	mustViolateJobs("wait", func(r *jobs.Result) { r.Jobs[0].Wait = sim.Second })
+	mustViolateJobs("end", func(r *jobs.Result) { r.Jobs[0].End = 10 * sim.Second })
+	mustViolateJobs("negative accounting", func(r *jobs.Result) { r.Jobs[0].Exec = 0; r.Jobs[0].End = sim.Second })
+	mustViolateJobs("more than global restart", func(r *jobs.Result) {
+		r.Jobs[0].WorkLossGrp = 2 * sim.Second
+		r.Jobs[0].WorkLossGlb = 1 * sim.Second
+	})
+	mustViolateJobs("nodes assigned", func(r *jobs.Result) { r.Jobs[0].Nodes = []int{0} })
+	mustViolateJobs("outside the 4-node cluster", func(r *jobs.Result) { r.Jobs[1].Nodes = []int{2, 9} })
+	mustViolateJobs("contiguous runs", func(r *jobs.Result) { r.Jobs[1].Fragments = 2 })
+	mustViolateJobs("grouped placement yielded", func(r *jobs.Result) {
+		// Job 1 lands on a fragmented pair; its report is internally
+		// consistent, so only the placement contract is violated.
+		r.Jobs[0].Nodes = []int{0, 2}
+		r.Jobs[0].Fragments = 2
+		r.Jobs[1].Nodes = []int{1, 3}
+		r.Jobs[1].Fragments = 2
+	})
+	mustViolateJobs("share nodes", func(r *jobs.Result) { r.Jobs[1].Nodes = []int{1, 2} })
+	mustViolateJobs("makespan", func(r *jobs.Result) { r.Makespan = 5 * sim.Second })
+	mustViolateJobs("max wait", func(r *jobs.Result) { r.MaxWait = sim.Second })
+	mustViolateJobs("per-job sums", func(r *jobs.Result) { r.Failures = 3 })
+	mustViolateJobs("utilization", func(r *jobs.Result) { r.Utilization = 1.5 })
 }
 
 // TestOracleLivenessHorizon: a spec whose cells cannot finish inside the

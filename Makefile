@@ -5,7 +5,7 @@ GO ?= go
 SHORT_SHA := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)
 COMMIT_WHEN := $(shell git show -s --format=%cI HEAD 2>/dev/null || echo "")
 
-.PHONY: build test race parallel-race bench bench-json bench-diff bench-trend fuzz-smoke smoke examples-smoke check-smoke gbd-smoke gbd-smoke-race lint ci
+.PHONY: build test race parallel-race bench bench-json bench-diff bench-trend fuzz-smoke smoke examples-smoke check-smoke gbd-smoke gbd-smoke-race tune-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -114,6 +114,13 @@ gbd-smoke:
 gbd-smoke-race:
 	sh scripts/gbd_smoke.sh -race
 
+# gbtune closed-loop optimizer smoke: search the shipped smoke-tune spec
+# in-process and diff the report against its golden, then repeat through a
+# live gbd daemon (POST /v1/tune) demanding byte-identical output — the
+# library/service parity contract (see scripts/tune_smoke.sh).
+tune-smoke:
+	sh scripts/tune_smoke.sh
+
 # staticcheck is a blocking lint step: CI installs it and fails the build on
 # findings. A bare local toolchain can opt out with STATICCHECK=off.
 lint:
@@ -131,4 +138,4 @@ lint:
 		exit 1; \
 	fi
 
-ci: lint build race bench smoke examples-smoke check-smoke fuzz-smoke gbd-smoke
+ci: lint build race bench smoke examples-smoke check-smoke fuzz-smoke gbd-smoke tune-smoke

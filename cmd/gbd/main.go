@@ -4,6 +4,7 @@
 //	gbd -addr 127.0.0.1:8080 -workers 8 -horizon 86400
 //
 // Endpoints: POST /v1/runs, POST /v1/sweeps (JSON or SSE streaming),
+// POST /v1/tune (closed-loop policy search; JSON or SSE rung progress),
 // GET /v1/experiments, GET /metrics (Prometheus), GET /healthz.
 // SIGTERM/SIGINT drain gracefully: in-flight requests finish (up to
 // -drain), new ones get 503, then the process exits 0.

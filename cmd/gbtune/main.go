@@ -1,0 +1,169 @@
+// Command gbtune searches a checkpoint-policy grid for the configuration
+// minimizing a scenario's expected makespan or rank-seconds lost, by
+// successive halving over real simulated cells (see TUNING in README.md).
+// The spec file fixes the problem — base scenario, candidate grid, rung
+// ladder — and the report is byte-identical for a given spec at any worker
+// count, so its output can be pinned as a golden file.
+//
+//	gbtune -spec tune.json             # search in-process, print tables
+//	gbtune -spec tune.json -json       # same search, JSON report
+//	gbtune -spec tune.json -url http://127.0.0.1:8080
+//
+// With -url the search runs on a gbd daemon instead (POST /v1/tune over
+// SSE): cells are scheduled on the daemon's shared pool under -tenant and
+// served through its cache. The rendered report is byte-identical to the
+// in-process one — the library/service parity contract.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/gb"
+	"repro/gb/gbd"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "tune spec file (required; see examples/tune/)")
+		asJSON   = flag.Bool("json", false, "print the JSON report instead of tables")
+		workers  = flag.Int("workers", 0, "concurrent cell evaluations (0 = all cores; in-process mode)")
+		seed     = flag.Int64("seed", 0, "override the base scenario's seed (0 = keep the spec's)")
+		verbose  = flag.Bool("v", false, "log per-rung progress to stderr")
+		url      = flag.String("url", "", "tune on this gbd daemon (POST /v1/tune) instead of in-process")
+		tenant   = flag.String("tenant", "", "tenant header value (daemon mode)")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "gbtune: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := run(ctx, *specPath, *url, *tenant, *workers, *seed, *verbose)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		b, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+	fmt.Print(rep.Text())
+}
+
+func run(ctx context.Context, specPath, url, tenant string, workers int, seed int64, verbose bool) (*gb.TuneReport, error) {
+	ts, err := gb.LoadTuneSpec(specPath)
+	if err != nil {
+		return nil, err
+	}
+	progress := func(rr gb.TuneRungReport) {
+		if verbose {
+			fmt.Fprintf(os.Stderr, "gbtune: rung %d: scale %d ×%d: %d candidates -> %d survivors, best %s (%.6g)\n",
+				rr.Rung, rr.Scale, rr.Reps, rr.Candidates, rr.Survivors, rr.Best.Label(), rr.BestScore)
+		}
+	}
+	if url != "" {
+		return postTune(ctx, url, specPath, tenant, progress)
+	}
+	opts := []gb.Option{gb.WithWorkers(workers), gb.WithTuneProgress(progress)}
+	if seed != 0 {
+		opts = append(opts, gb.WithSeed(seed))
+	}
+	return gb.Tune(ctx, ts, opts...)
+}
+
+// postTune is the daemon mode: stream POST /v1/tune over SSE, surface rung
+// events as progress, and return the done event's report.
+func postTune(ctx context.Context, base, specPath, tenant string, progress func(gb.TuneRungReport)) (*gb.TuneReport, error) {
+	spec, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, err
+	}
+	body := fmt.Sprintf(`{"spec":%s}`, strings.TrimSpace(string(spec)))
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/tune", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	if tenant != "" {
+		req.Header.Set(gbd.TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := bufio.NewReader(resp.Body).ReadString('\n')
+		return nil, fmt.Errorf("POST /v1/tune: %s: %s", resp.Status, strings.TrimSpace(msg))
+	}
+
+	var report *gb.TuneReport
+	event, data := "", ""
+	flush := func() error {
+		switch event {
+		case "rung":
+			var rr gb.TuneRungReport
+			if err := json.Unmarshal([]byte(data), &rr); err != nil {
+				return fmt.Errorf("rung event: %w", err)
+			}
+			progress(rr)
+		case "error":
+			return fmt.Errorf("tune failed: %s", data)
+		case "done":
+			var tr gbd.TuneResponse
+			if err := json.Unmarshal([]byte(data), &tr); err != nil {
+				return fmt.Errorf("done event: %w", err)
+			}
+			report = new(gb.TuneReport)
+			if err := json.Unmarshal(tr.Report, report); err != nil {
+				return fmt.Errorf("done report: %w", err)
+			}
+		}
+		event, data = "", ""
+		return nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if report == nil {
+		return nil, fmt.Errorf("stream ended without a done event")
+	}
+	return report, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gbtune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/gb/gbd"
+)
+
+// TestMain lets the test binary re-exec itself as the real CLI, so output
+// and exit codes can be asserted without a separate build step (the same
+// pattern as cmd/gbrun).
+func TestMain(m *testing.M) {
+	if os.Getenv("GBTUNE_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GBTUNE_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	path := t.TempDir() + "/tune.json"
+	spec := `{
+		"scenario": {
+			"name": "cli-tune",
+			"workload": {"kind": "synthetic", "iters": 6, "imageMB": 1},
+			"modes": ["GP1"],
+			"checkpoint": {"intervalS": 2},
+			"seed": 7
+		},
+		"objective": "makespan",
+		"modes": ["GP1", "NORM"],
+		"intervalsS": [1, 2],
+		"rungs": [{"scale": 4}, {"scale": 8}],
+		"eta": 2
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTuneTables: the default output is the recommendation, rung, and
+// sensitivity tables, with -v rung progress on stderr.
+func TestTuneTables(t *testing.T) {
+	out, err := runCLI(t, "-spec", writeSpec(t), "-v")
+	if err != nil {
+		t.Fatalf("gbtune failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"tune: cli-tune — recommendation",
+		"== rungs ==",
+		"sensitivity: mode",
+		"gbtune: rung 0:",
+		"gbtune: rung 1:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTuneJSON: -json prints the wire-contract report.
+func TestTuneJSON(t *testing.T) {
+	out, err := runCLI(t, "-spec", writeSpec(t), "-json")
+	if err != nil {
+		t.Fatalf("gbtune -json failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{`"name": "cli-tune"`, `"winner"`, `"rungs"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTuneDaemonParity: pointing the CLI at a live gbd daemon must print
+// exactly the bytes the in-process search prints — the parity contract,
+// end to end through the wire.
+func TestTuneDaemonParity(t *testing.T) {
+	srv := httptest.NewServer(gbd.NewServer(gbd.Options{Workers: 4}))
+	defer srv.Close()
+	spec := writeSpec(t)
+
+	local, err := runCLI(t, "-spec", spec)
+	if err != nil {
+		t.Fatalf("in-process run failed: %v\n%s", err, local)
+	}
+	served, err := runCLI(t, "-spec", spec, "-url", srv.URL, "-tenant", "cli")
+	if err != nil {
+		t.Fatalf("daemon run failed: %v\n%s", err, served)
+	}
+	if local != served {
+		t.Errorf("daemon-backed output differs from in-process:\n--- local ---\n%s\n--- served ---\n%s", local, served)
+	}
+}
+
+// TestTuneBadSpecExitsNonZero: a broken spec is a named failure, not a
+// zero-exit shrug.
+func TestTuneBadSpecExitsNonZero(t *testing.T) {
+	path := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(path, []byte(`{"scenario":{"name":"x"},"rungs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-spec", path)
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("bad spec did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+	if !strings.Contains(out, "gbtune:") {
+		t.Errorf("error not prefixed:\n%s", out)
+	}
+}
+
+// TestTuneMissingSpecFlag: -spec is required.
+func TestTuneMissingSpecFlag(t *testing.T) {
+	out, err := runCLI(t)
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("missing -spec did not exit non-zero (err=%v); output:\n%s", err, out)
+	}
+	if !strings.Contains(out, "-spec is required") {
+		t.Errorf("usage message missing:\n%s", out)
+	}
+}

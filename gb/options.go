@@ -16,6 +16,7 @@ const (
 	scopeRun scope = iota
 	scopeSweep
 	scopeCell
+	scopeTune
 )
 
 func (s scope) String() string {
@@ -24,6 +25,8 @@ func (s scope) String() string {
 		return "Sweep"
 	case scopeCell:
 		return "RunCell"
+	case scopeTune:
+		return "Tune"
 	}
 	return "Run"
 }
@@ -41,6 +44,9 @@ type config struct {
 	cellMetrics bool
 	runWorkers  int
 	jobStream   *scenario.JobsSpec
+
+	// Tune knob: per-rung progress observer.
+	tuneProgress func(TuneRungReport)
 
 	// Run knob, applied after all options: wraps the failure process.
 	failurePattern *pattern.Spec
@@ -199,6 +205,9 @@ func WithJobStream(j ScenarioJobs) Option {
 // liveness backstop that turns a livelock into a diagnosis.
 func WithHorizon(d Time) Option {
 	return func(c *config) error {
+		if c.scope == scopeTune {
+			return errBadSpec("WithHorizon applies to Run, Sweep, or RunCell, not Tune (each rung's horizonS owns it)")
+		}
 		if d < 0 {
 			return errBadSpec("WithHorizon(%v): negative horizon", d)
 		}
@@ -223,8 +232,8 @@ func WithObserver(obs ...Observer) Option {
 // observer yourself: WithObserver(NewMetricsObserver()).
 func WithCellMetrics() Option {
 	return func(c *config) error {
-		if c.scope == scopeRun {
-			return errBadSpec("WithCellMetrics applies to Sweep or RunCell, not Run (use WithObserver(NewMetricsObserver()))")
+		if c.scope != scopeSweep && c.scope != scopeCell {
+			return errBadSpec("WithCellMetrics applies to Sweep or RunCell, not %s (use WithObserver(NewMetricsObserver()))", c.scope)
 		}
 		c.cellMetrics = true
 		return nil
@@ -250,15 +259,29 @@ func WithRunWorkers(n int) Option {
 	}
 }
 
-// WithWorkers bounds how many sweep cells execute concurrently (default:
-// all cores; 1 = serial). Cell seeding makes the rendered table identical
-// at any worker count — only wall-clock time and streaming order change.
+// WithWorkers bounds how many sweep cells (or tune evaluations) execute
+// concurrently (default: all cores; 1 = serial). Cell seeding makes the
+// rendered table — and the tune report — identical at any worker count;
+// only wall-clock time and streaming order change.
 func WithWorkers(n int) Option {
 	return func(c *config) error {
-		if c.scope != scopeSweep {
-			return errBadSpec("WithWorkers applies to Sweep, not %s (a single run is one simulation)", c.scope)
+		if c.scope != scopeSweep && c.scope != scopeTune {
+			return errBadSpec("WithWorkers applies to Sweep or Tune, not %s (a single run is one simulation)", c.scope)
 		}
 		c.workers = n
+		return nil
+	}
+}
+
+// WithTuneProgress observes each completed rung of a Tune search in ladder
+// order — progress reporting for CLIs and streaming services. The callback
+// runs on the searching goroutine; the report is unaffected by it.
+func WithTuneProgress(fn func(TuneRungReport)) Option {
+	return func(c *config) error {
+		if c.scope != scopeTune {
+			return errBadSpec("WithTuneProgress applies to Tune, not %s", c.scope)
+		}
+		c.tuneProgress = fn
 		return nil
 	}
 }

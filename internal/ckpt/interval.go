@@ -28,6 +28,23 @@ func ExpectedWaste(c, t, mtbf sim.Time) float64 {
 	return float64(c)/float64(t) + float64(t)/(2*float64(mtbf))
 }
 
+// WasteAtYoung returns the waste fraction of the first-order model at its
+// own optimum t* = √(2·C·MTBF): substituting t* into ExpectedWaste gives
+// √(2·C/MTBF). It is the analytic floor the tuner's search should approach —
+// a measured policy wasting much more than this signals effects the formula
+// can't see (stochastic clustering, storage contention, patterned
+// intensity). Degenerate inputs mirror YoungInterval: non-positive MTBF has
+// no finite optimum (+Inf); non-positive cost wastes nothing (0).
+func WasteAtYoung(ckptCost, mtbf sim.Time) float64 {
+	if mtbf <= 0 {
+		return math.Inf(1)
+	}
+	if ckptCost <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * float64(ckptCost) / float64(mtbf))
+}
+
 // GroupInterval scales a base checkpoint interval for a group according to
 // its failure rate relative to the system mean: groups of frequently failing
 // nodes checkpoint more often (the paper's flexibility argument: "group

@@ -24,6 +24,11 @@ func TestYoungInterval(t *testing.T) {
 		{"both zero", 0, 0, 0, true},
 		{"textbook: C=50s, MTBF=1h", sim.Seconds(50), sim.Seconds(3600), sim.Time(math.Sqrt(2 * 50 * 3600 * float64(sim.Second) * float64(sim.Second))), true},
 		{"huge checkpoint cost", sim.Seconds(1e9), sim.Seconds(3600), 0, false},
+		// ckptCost ≥ mtbf: checkpointing costs more than the failure gap it
+		// protects. The formula stays finite and well-defined — the tuner
+		// feeds it machine-derived costs and must survive the answer.
+		{"cost equals mtbf", sim.Seconds(60), sim.Seconds(60), sim.Time(math.Sqrt(2 * 60 * 60 * float64(sim.Second) * float64(sim.Second))), true},
+		{"cost above mtbf", sim.Seconds(600), sim.Seconds(60), 0, false},
 	}
 	for _, c := range cases {
 		got := YoungInterval(c.cost, c.mtbf)
@@ -79,6 +84,53 @@ func TestExpectedWaste(t *testing.T) {
 	// Monotone improvement with reliability at a fixed interval.
 	if ExpectedWaste(c, sim.Seconds(300), sim.Seconds(7200)) >= ExpectedWaste(c, sim.Seconds(300), sim.Seconds(1800)) {
 		t.Error("waste did not drop when MTBF quadrupled")
+	}
+}
+
+// TestWasteAtYoung: the analytic floor must equal the waste model evaluated
+// at Young's own interval, and its degenerate inputs must mirror
+// YoungInterval's — the tuner calls both with machine-derived costs and
+// MTBFs, including zero MTBF and costs at or above the MTBF.
+func TestWasteAtYoung(t *testing.T) {
+	cases := []struct {
+		name       string
+		cost, mtbf sim.Time
+		wantInf    bool
+		wantZero   bool
+	}{
+		{"zero mtbf", sim.Seconds(10), 0, true, false},
+		{"negative mtbf", sim.Seconds(10), -sim.Seconds(1), true, false},
+		{"zero cost", 0, sim.Seconds(3600), false, true},
+		{"negative cost", -sim.Seconds(5), sim.Seconds(3600), false, true},
+		{"both zero", 0, 0, true, false},
+		{"nominal", sim.Seconds(50), sim.Seconds(3600), false, false},
+		{"cost equals mtbf", sim.Seconds(60), sim.Seconds(60), false, false},
+		{"cost above mtbf", sim.Seconds(600), sim.Seconds(60), false, false},
+	}
+	for _, c := range cases {
+		got := WasteAtYoung(c.cost, c.mtbf)
+		if c.wantInf {
+			if !math.IsInf(got, 1) {
+				t.Errorf("%s: WasteAtYoung = %v, want +Inf", c.name, got)
+			}
+			continue
+		}
+		if c.wantZero {
+			if got != 0 {
+				t.Errorf("%s: WasteAtYoung = %v, want 0", c.name, got)
+			}
+			continue
+		}
+		if got <= 0 || math.IsInf(got, 1) || math.IsNaN(got) {
+			t.Errorf("%s: WasteAtYoung = %v, want finite positive", c.name, got)
+		}
+		// Consistency: the floor is the waste model at Young's interval.
+		if opt := YoungInterval(c.cost, c.mtbf); opt > 0 {
+			at := ExpectedWaste(c.cost, opt, c.mtbf)
+			if math.Abs(got-at) > 1e-9*at {
+				t.Errorf("%s: WasteAtYoung %v != ExpectedWaste at T* %v", c.name, got, at)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,49 @@
+package jobs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// InterarrivalForUtilization computes the mean interarrival gap that drives
+// a cluster of nodes to a target steady-state utilization under a template
+// mix: utilization = (expected node-seconds of work per arrival) / (nodes ×
+// mean gap), so gap = E[ranks·exec] / (nodes·util). execS gives each
+// template's expected per-job execution time, parallel to templates; the
+// expectation weights templates by their draw Weight, matching the stream's
+// sampler. Offered load above ~1 saturates the queue instead of raising
+// utilization, so util is capped at 1.
+//
+// The result is an open-loop target: queueing, placement fragmentation, and
+// failure-replay occupancy push measured utilization off it, which is
+// exactly what sweeping scenarios around the target is for.
+func InterarrivalForUtilization(nodes int, templates []Template, execS []sim.Time, util float64) (sim.Time, error) {
+	if nodes < 1 {
+		return 0, fmt.Errorf("jobs: nodes=%d, need ≥ 1", nodes)
+	}
+	if util <= 0 || util > 1 {
+		return 0, fmt.Errorf("jobs: target utilization %g, need in (0, 1]", util)
+	}
+	if len(templates) == 0 {
+		return 0, fmt.Errorf("jobs: no job templates")
+	}
+	if len(execS) != len(templates) {
+		return 0, fmt.Errorf("jobs: %d exec times for %d templates", len(execS), len(templates))
+	}
+	var work, weight float64
+	for i, tp := range templates {
+		if tp.Ranks < 1 || tp.Ranks > nodes {
+			return 0, fmt.Errorf("jobs: template %d (%s): ranks=%d, need 1..%d (cluster nodes)", i, tp.Label, tp.Ranks, nodes)
+		}
+		if tp.Weight < 1 {
+			return 0, fmt.Errorf("jobs: template %d (%s): weight=%d, need ≥ 1", i, tp.Label, tp.Weight)
+		}
+		if execS[i] <= 0 {
+			return 0, fmt.Errorf("jobs: template %d (%s): exec time %v, need > 0", i, tp.Label, execS[i])
+		}
+		work += float64(tp.Weight) * float64(tp.Ranks) * float64(execS[i])
+		weight += float64(tp.Weight)
+	}
+	return sim.Time(work / weight / (float64(nodes) * util)), nil
+}

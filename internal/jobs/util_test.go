@@ -1,0 +1,102 @@
+package jobs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestInterarrivalForUtilization: closed-form cases. One template filling
+// the whole cluster for 10s at 50% target needs a 20s gap; halving the
+// target doubles the gap; the weighted mix averages per the sampler's draw
+// frequencies.
+func TestInterarrivalForUtilization(t *testing.T) {
+	full := []Template{{Label: "big", Ranks: 64, Weight: 1}}
+	got, err := InterarrivalForUtilization(64, full, []sim.Time{sim.Seconds(10)}, 0.5)
+	if err != nil {
+		t.Fatalf("InterarrivalForUtilization: %v", err)
+	}
+	if want := sim.Seconds(20); got != want {
+		t.Errorf("full-cluster 50%%: gap = %v, want %v", got, want)
+	}
+
+	quarter, err := InterarrivalForUtilization(64, full, []sim.Time{sim.Seconds(10)}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarter != sim.Seconds(40) {
+		t.Errorf("quarter target: gap = %v, want 40s", quarter)
+	}
+
+	// Mix: 3× (16 ranks, 8s) + 1× (64 ranks, 10s): E[work] =
+	// (3·16·8 + 1·64·10) / 4 = 256 node-s; at 32 nodes and util 0.8 the
+	// gap is 256 / (32·0.8) = 10s.
+	mix := []Template{
+		{Label: "small", Ranks: 16, Weight: 3},
+		{Label: "big", Ranks: 64, Weight: 1},
+	}
+	got, err = InterarrivalForUtilization(64, mix, []sim.Time{sim.Seconds(8), sim.Seconds(10)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(256.0 / 64 * float64(sim.Second))
+	if math.Abs(float64(got-want)) > 1 {
+		t.Errorf("mix: gap = %v, want %v", got, want)
+	}
+}
+
+// TestInterarrivalForUtilizationRejects: every inconsistent input is named.
+func TestInterarrivalForUtilizationRejects(t *testing.T) {
+	tp := []Template{{Label: "j", Ranks: 8, Weight: 1}}
+	ex := []sim.Time{sim.Seconds(5)}
+	cases := []struct {
+		name string
+		call func() error
+		want string
+	}{
+		{"zero nodes", func() error {
+			_, err := InterarrivalForUtilization(0, tp, ex, 0.5)
+			return err
+		}, "nodes"},
+		{"zero util", func() error {
+			_, err := InterarrivalForUtilization(16, tp, ex, 0)
+			return err
+		}, "utilization"},
+		{"util above 1", func() error {
+			_, err := InterarrivalForUtilization(16, tp, ex, 1.5)
+			return err
+		}, "utilization"},
+		{"no templates", func() error {
+			_, err := InterarrivalForUtilization(16, nil, nil, 0.5)
+			return err
+		}, "templates"},
+		{"exec length mismatch", func() error {
+			_, err := InterarrivalForUtilization(16, tp, nil, 0.5)
+			return err
+		}, "exec times"},
+		{"ranks above nodes", func() error {
+			_, err := InterarrivalForUtilization(4, tp, ex, 0.5)
+			return err
+		}, "ranks"},
+		{"zero weight", func() error {
+			_, err := InterarrivalForUtilization(16, []Template{{Label: "j", Ranks: 8}}, ex, 0.5)
+			return err
+		}, "weight"},
+		{"zero exec", func() error {
+			_, err := InterarrivalForUtilization(16, tp, []sim.Time{0}, 0.5)
+			return err
+		}, "exec time"},
+	}
+	for _, c := range cases {
+		err := c.call()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

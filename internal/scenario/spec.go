@@ -473,6 +473,44 @@ func (s *Spec) validateJobs() error {
 	return nil
 }
 
+// Clone returns a deep copy of the spec: mutating the copy's slices or
+// nested blocks never writes through to the original. The tuner derives
+// hundreds of candidate specs from one base spec; Clone is what makes that
+// derivation safe without every caller memorizing which fields are shared.
+func (s *Spec) Clone() *Spec {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	cp.Scales = append([]int(nil), s.Scales...)
+	cp.Modes = append([]string(nil), s.Modes...)
+	if s.Cluster.JitterFrac != nil {
+		v := *s.Cluster.JitterFrac
+		cp.Cluster.JitterFrac = &v
+	}
+	if s.Failures != nil {
+		f := *s.Failures
+		f.Pattern = clonePattern(s.Failures.Pattern)
+		cp.Failures = &f
+	}
+	if s.Jobs != nil {
+		j := *s.Jobs
+		j.Arrivals = clonePattern(s.Jobs.Arrivals)
+		j.Templates = append([]JobTemplateSpec(nil), s.Jobs.Templates...)
+		cp.Jobs = &j
+	}
+	return &cp
+}
+
+func clonePattern(p *pattern.Spec) *pattern.Spec {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	cp.Points = append([]pattern.PointSpec(nil), p.Points...)
+	return &cp
+}
+
 // Parse decodes a spec from JSON, rejecting unknown fields (a typoed knob
 // must fail loudly, not silently run the default), then defaults and
 // validates it.

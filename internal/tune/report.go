@@ -1,0 +1,162 @@
+package tune
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Report is a search's structured recommendation: the winner and its
+// score, the rung-by-rung budget trail, the per-dimension sensitivity
+// around the winner, and the analytic seed it started from. The JSON form
+// is the wire contract (fields may be added, never renamed); Text renders
+// the same data as stable, golden-pinnable tables.
+type Report struct {
+	Name       string `json:"name"`
+	Objective  string `json:"objective"`
+	Units      string `json:"units"`
+	Candidates int    `json:"candidates"`
+
+	// Winner is the recommended policy; Score its objective value at the
+	// final rung's Scale.
+	Winner Candidate `json:"winner"`
+	Score  float64   `json:"score"`
+	Scale  int       `json:"scale"`
+
+	// Baseline is the base scenario's own policy measured at the final
+	// rung; when it beats the searched optimum it *is* the winner (Won).
+	// Absent when the base policy cannot run under the tune spec.
+	Baseline *Baseline `json:"baseline,omitempty"`
+
+	// YoungIntervalS and AnalyticWasteFrac are the first-order seed the
+	// interval axis was centered on (0 when no failure process).
+	YoungIntervalS    float64 `json:"youngIntervalS,omitempty"`
+	AnalyticWasteFrac float64 `json:"analyticWasteFrac,omitempty"`
+
+	Rungs       []RungReport `json:"rungs"`
+	Sensitivity []Curve      `json:"sensitivity,omitempty"`
+
+	// Budget: Cells counts every cell the ladder asked for; CellsComputed
+	// the ones actually simulated; MemoHits the rest, served from the
+	// evaluation memo.
+	Cells         int `json:"cells"`
+	CellsComputed int `json:"cellsComputed"`
+	MemoHits      int `json:"memoHits"`
+}
+
+// Baseline is the base scenario's own policy, measured for comparison.
+type Baseline struct {
+	Candidate Candidate `json:"candidate"`
+	// Score is nil when the baseline tripped the final rung's horizon.
+	Score *float64 `json:"score"`
+	Won   bool     `json:"won"`
+}
+
+// RungReport is one completed rung of the halving ladder.
+type RungReport struct {
+	Rung       int       `json:"rung"`
+	Scale      int       `json:"scale"`
+	Reps       int       `json:"reps"`
+	HorizonS   float64   `json:"horizonS,omitempty"`
+	Candidates int       `json:"candidates"`
+	Survivors  int       `json:"survivors"`
+	Cells      int       `json:"cells"`
+	Best       Candidate `json:"best"`
+	BestScore  float64   `json:"bestScore"`
+}
+
+// Curve is one dimension's sensitivity around the winner: the objective as
+// that dimension sweeps its grid values with every other dimension held at
+// the winner's setting.
+type Curve struct {
+	Dimension string       `json:"dimension"`
+	Points    []CurvePoint `json:"points"`
+}
+
+// CurvePoint is one sensitivity sample. Score is nil when the point
+// tripped the horizon (infeasible).
+type CurvePoint struct {
+	Value string   `json:"value"`
+	Score *float64 `json:"score"`
+}
+
+// JSON renders the report as indented JSON with a trailing newline — the
+// file form of the wire contract.
+func (r *Report) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, fmt.Errorf("tune: report: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Text renders the report as aligned tables. The output is a pure function
+// of the report — scores are printed at fixed significant digits, rows in
+// ladder/grid order — so it can be pinned as a golden file.
+func (r *Report) Text() string {
+	var sb strings.Builder
+
+	win := &stats.Table{
+		Title:   fmt.Sprintf("tune: %s — recommendation", r.Name),
+		Columns: []string{"objective", "mode", "groupMax", "intervalS", "storage", fmt.Sprintf("score (%s)", r.Units)},
+	}
+	win.AddRow(r.Objective, r.Winner.Mode, fmt.Sprintf("%d", r.Winner.GroupMax),
+		fnum(r.Winner.IntervalS), r.Winner.Storage.Label(), score6(r.Score))
+	win.AddNote("%d candidates at scale %d; %d cells (%d computed, %d memo hits)",
+		r.Candidates, r.Scale, r.Cells, r.CellsComputed, r.MemoHits)
+	if r.YoungIntervalS > 0 {
+		win.AddNote("analytic seed: Young t* = %ss (waste %s)", fnum(r.YoungIntervalS), fnum(r.AnalyticWasteFrac))
+	}
+	if b := r.Baseline; b != nil {
+		bs := "infeasible (horizon)"
+		if b.Score != nil {
+			bs = score6(*b.Score) + " " + r.Units
+		}
+		verdict := "search wins"
+		if b.Won {
+			verdict = "baseline wins — recommended as-is"
+		}
+		win.AddNote("baseline %s: %s (%s)", b.Candidate.Label(), bs, verdict)
+	}
+	sb.WriteString(win.String())
+
+	rungs := &stats.Table{
+		Title:   "rungs",
+		Columns: []string{"rung", "scale", "reps", "horizonS", "candidates", "survivors", "cells", "best", "score"},
+	}
+	for _, rr := range r.Rungs {
+		rungs.AddRow(fmt.Sprintf("%d", rr.Rung), fmt.Sprintf("%d", rr.Scale),
+			fmt.Sprintf("%d", rr.Reps), fnum(rr.HorizonS),
+			fmt.Sprintf("%d", rr.Candidates), fmt.Sprintf("%d", rr.Survivors),
+			fmt.Sprintf("%d", rr.Cells), rr.Best.Label(), score6(rr.BestScore))
+	}
+	sb.WriteString("\n")
+	sb.WriteString(rungs.String())
+
+	for _, c := range r.Sensitivity {
+		t := &stats.Table{
+			Title:   "sensitivity: " + c.Dimension,
+			Columns: []string{c.Dimension, fmt.Sprintf("score (%s)", r.Units)},
+		}
+		for _, p := range c.Points {
+			v := "horizon"
+			if p.Score != nil {
+				v = score6(*p.Score)
+			}
+			t.AddRow(p.Value, v)
+		}
+		sb.WriteString("\n")
+		sb.WriteString(t.String())
+	}
+	return sb.String()
+}
+
+// score6 prints an objective value at six significant digits — enough to
+// rank policies, stable enough to pin.
+func score6(v float64) string { return fmt.Sprintf("%.6g", v) }

@@ -1,0 +1,74 @@
+package tune
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Parse decodes a tune spec from JSON, rejecting unknown fields (a typoed
+// knob must fail loudly), then defaults and validates it — including the
+// Young-seeded interval grid, so the parsed spec is exactly what a Search
+// of it will run.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	ts := &Spec{}
+	if err := dec.Decode(ts); err != nil {
+		return nil, badSpec("%v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, badSpec("trailing data after tune spec")
+	}
+	if err := ts.Normalize(); err != nil {
+		return nil, err
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// Load reads a tune spec file.
+func Load(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tune: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Canonical renders the tune spec's canonical wire encoding: defaulted and
+// validated on a deep copy, then compact JSON in declared field order with
+// every derived knob (the seeded interval grid included) written out. Two
+// specs that describe the same search canonicalize to the same bytes.
+func Canonical(ts *Spec) ([]byte, error) {
+	cp, err := normalized(ts)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(cp); err != nil {
+		return nil, fmt.Errorf("tune: canonical: %w", err)
+	}
+	return bytes.TrimSuffix(buf.Bytes(), []byte("\n")), nil
+}
+
+// Key returns the tune spec's canonical identity: the hex SHA-256 of its
+// Canonical encoding. A search's report is fully determined by the spec,
+// so equal keys mean byte-identical reports.
+func Key(ts *Spec) (string, error) {
+	b, err := Canonical(ts)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# gbtune end-to-end smoke: search the shipped smoke-tune spec in-process and
+# diff the report against its golden, then repeat through a live gbd daemon
+# (POST /v1/tune over SSE) and demand the identical bytes — the
+# library/service parity contract — plus a warm repeat proving the daemon's
+# cell cache changes nothing. Extra arguments are passed to `go build`
+# (e.g. -race). Run from the repository root; `make tune-smoke` does.
+set -eu
+
+tmp=$(mktemp -d)
+daemon=""
+cleanup() {
+	[ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build "$@" -o "$tmp/gbtune" ./cmd/gbtune
+go build "$@" -o "$tmp/gbd" ./cmd/gbd
+
+# In-process search, byte-exact against the golden report.
+"$tmp/gbtune" -spec examples/tune/smoke-tune.json >"$tmp/report1"
+diff -u examples/tune/smoke-tune.report.golden "$tmp/report1"
+
+"$tmp/gbd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -workers 4 -drain 30s 2>"$tmp/log" &
+daemon=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "tune-smoke: daemon never bound" >&2
+		cat "$tmp/log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+url="http://$(cat "$tmp/addr")"
+
+# The same search on the daemon must print the same bytes.
+"$tmp/gbtune" -spec examples/tune/smoke-tune.json -url "$url" -tenant smoke >"$tmp/report2"
+diff -u examples/tune/smoke-tune.report.golden "$tmp/report2"
+
+# Warm repeat: every cell served from the daemon's cache, bytes unchanged.
+"$tmp/gbtune" -spec examples/tune/smoke-tune.json -url "$url" -tenant smoke >"$tmp/report3"
+cmp "$tmp/report2" "$tmp/report3"
+
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+	echo "tune-smoke: daemon exited nonzero after SIGTERM" >&2
+	cat "$tmp/log" >&2
+	exit 1
+fi
+daemon=""
+echo "tune smoke ok"
